@@ -1,0 +1,81 @@
+//! Ablation A2 — deferred recovery (§4.4.1): the first post-recovery pass
+//! pays for epoch claims (CAS + persist per node encountered, at most one
+//! insert repair per traversal); steady-state reads pay nothing. This
+//! bench quantifies that amortized cost and shows it is bounded — the
+//! design that keeps restart time constant (§4.1.5).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::{Rng, SeedableRng};
+
+fn bench_deferred(c: &mut Criterion) {
+    let records = 20_000u64;
+    let d = bench::Deployment {
+        tracked: true,
+        ..bench::Deployment::simple(records)
+    };
+    let list = bench::build_upskiplist(&d, 64);
+    for i in 0..records {
+        list.insert(ycsb::key_of(i), i + 1);
+    }
+
+    let mut group = c.benchmark_group("deferred_recovery");
+    group.sample_size(10);
+
+    // Steady state: all nodes carry the current epoch.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    group.bench_function("steady_state_get", |b| {
+        b.iter(|| {
+            let k = ycsb::key_of(rng.gen_range(0..records));
+            std::hint::black_box(list.get(k))
+        })
+    });
+
+    // Post-recovery: every epoch bump makes all nodes stale again, so
+    // each iteration batch starts from a freshly "recovered" structure and
+    // the measured gets include the lazy per-node recovery work.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+    group.bench_function("first_pass_after_recovery", |b| {
+        b.iter_custom(|iters| {
+            let mut total = std::time::Duration::ZERO;
+            let mut remaining = iters;
+            while remaining > 0 {
+                let batch = remaining.min(2_000);
+                list.recover(); // new epoch: all nodes stale
+                let t0 = std::time::Instant::now();
+                for _ in 0..batch {
+                    let k = ycsb::key_of(rng.gen_range(0..records));
+                    std::hint::black_box(list.get(k));
+                }
+                total += t0.elapsed();
+                remaining -= batch;
+            }
+            total
+        })
+    });
+    // Eager alternative (the design §4.4.1 argues against): pay the whole
+    // repair bill at restart, then reads are steady-state from op one.
+    group.bench_function("eager_recovery_then_get", |b| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        b.iter_custom(|iters| {
+            let mut total = std::time::Duration::ZERO;
+            let mut remaining = iters;
+            while remaining > 0 {
+                let batch = remaining.min(2_000);
+                list.recover();
+                let t0 = std::time::Instant::now();
+                list.recover_eagerly(); // O(structure) restart cost, timed
+                for _ in 0..batch {
+                    let k = ycsb::key_of(rng.gen_range(0..records));
+                    std::hint::black_box(list.get(k));
+                }
+                total += t0.elapsed();
+                remaining -= batch;
+            }
+            total
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_deferred);
+criterion_main!(benches);

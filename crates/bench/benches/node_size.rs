@@ -1,0 +1,38 @@
+//! Ablation A1 — multi-key node size (§4.2): lookup and update throughput
+//! for 1, 16, 64, and 256 keys per node. The thesis picked 256 by trial
+//! and error on its 100M-key dataset; this sweep regenerates the
+//! trade-off (taller towers vs longer node scans) at bench scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{Rng, SeedableRng};
+
+fn bench_node_size(c: &mut Criterion) {
+    let records = 20_000u64;
+    let mut group = c.benchmark_group("node_size");
+    group.sample_size(20);
+    for keys_per_node in [1usize, 16, 64, 256] {
+        let d = bench::Deployment::simple(records);
+        let list = bench::build_upskiplist(&d, keys_per_node);
+        for i in 0..records {
+            list.insert(ycsb::key_of(i), i + 1);
+        }
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        group.bench_with_input(BenchmarkId::new("get", keys_per_node), &list, |b, l| {
+            b.iter(|| {
+                let k = ycsb::key_of(rng.gen_range(0..records));
+                std::hint::black_box(l.get(k))
+            })
+        });
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        group.bench_with_input(BenchmarkId::new("update", keys_per_node), &list, |b, l| {
+            b.iter(|| {
+                let k = ycsb::key_of(rng.gen_range(0..records));
+                std::hint::black_box(l.insert(k, 7))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_node_size);
+criterion_main!(benches);

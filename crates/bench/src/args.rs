@@ -1,0 +1,106 @@
+//! Minimal `--key value` argument parsing for the experiment binaries
+//! (kept dependency-free on purpose).
+
+use std::collections::HashMap;
+
+/// Parsed `--key value` pairs from `std::env::args`.
+#[derive(Debug, Default)]
+pub struct Args {
+    map: HashMap<String, String>,
+}
+
+impl Args {
+    pub fn parse() -> Self {
+        Self::from_iter(std::env::args().skip(1))
+    }
+
+    #[allow(clippy::should_implement_trait)] // not a FromIterator impl
+    pub fn from_iter(iter: impl IntoIterator<Item = String>) -> Self {
+        let mut map = HashMap::new();
+        let mut iter = iter.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            if let Some(key) = arg.strip_prefix("--") {
+                let value = match iter.peek() {
+                    Some(v) if !v.starts_with("--") => iter.next().unwrap(),
+                    _ => String::from("true"),
+                };
+                map.insert(key.to_string(), value);
+            }
+        }
+        Self { map }
+    }
+
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.map.get(key).map(|s| s.as_str())
+    }
+
+    pub fn u64(&self, key: &str, default: u64) -> u64 {
+        self.get(key)
+            .map(|v| v.parse().expect("numeric argument"))
+            .unwrap_or(default)
+    }
+
+    pub fn usize(&self, key: &str, default: usize) -> usize {
+        self.u64(key, default as u64) as usize
+    }
+
+    pub fn flag(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Comma-separated list.
+    pub fn list(&self, key: &str, default: &str) -> Vec<String> {
+        self.get(key)
+            .unwrap_or(default)
+            .split(',')
+            .filter(|s| !s.is_empty())
+            .map(str::to_string)
+            .collect()
+    }
+
+    /// Comma-separated usize list.
+    pub fn usize_list(&self, key: &str, default: &str) -> Vec<usize> {
+        self.list(key, default)
+            .into_iter()
+            .map(|s| s.parse().expect("numeric list argument"))
+            .collect()
+    }
+}
+
+/// Default thread sweep: powers of two up to 2× the machine parallelism.
+pub fn default_thread_sweep() -> Vec<usize> {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let mut v = vec![1];
+    while *v.last().unwrap() < cores * 2 {
+        v.push(v.last().unwrap() * 2);
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_pairs_flags_and_lists() {
+        let a = Args::from_iter(
+            ["--threads", "1,2,4", "--records", "100", "--tracked"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert_eq!(a.usize_list("threads", ""), vec![1, 2, 4]);
+        assert_eq!(a.u64("records", 0), 100);
+        assert!(a.flag("tracked"));
+        assert!(!a.flag("absent"));
+        assert_eq!(a.u64("absent", 7), 7);
+    }
+
+    #[test]
+    fn thread_sweep_is_nonempty_ascending() {
+        let v = default_thread_sweep();
+        assert!(!v.is_empty());
+        assert!(v.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,209 @@
+//! E6 — Table 5.4: recovery time after a crash during a 100%-insert
+//! workload, for UPSkipList, BzTree (100K and 500K PMwCAS descriptors),
+//! and the PMDK lock-based skip list. Average of `--trials` runs.
+//!
+//! Recovery time is what the thesis measures: the time for the driver to
+//! reconnect with the structure until it can serve new requests —
+//! UPSkipList and the PMDK list defer all real repair work into normal
+//! operation (O(threads)), while BzTree must scan its whole descriptor
+//! pool.
+//!
+//! Emits CSV: `structure,trial,recovery_ms` plus an average table.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use bench::{build_bztree, build_pmdkskip, build_upskiplist, Args, Deployment, KvIndex};
+use pmem::run_crashable;
+
+fn run_inserts_until_crash(
+    index: Arc<dyn KvIndex>,
+    controller: Arc<pmem::CrashController>,
+    start_key: u64,
+    threads: usize,
+    crash_after: u64,
+) {
+    controller.arm_after(crash_after);
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let index = Arc::clone(&index);
+            s.spawn(move || {
+                pmem::thread::register(t, 0);
+                let mut k = start_key + t as u64;
+                let _ = run_crashable(|| loop {
+                    index.insert(k, k);
+                    k += threads as u64;
+                });
+                pmem::discard_pending();
+            });
+        }
+    });
+    assert!(
+        controller.is_crashed(),
+        "insert phase ended without crashing"
+    );
+}
+
+fn main() {
+    pmem::crash::silence_crash_panics();
+    let args = Args::parse();
+    let records = args.u64("records", 100_000);
+    let trials = args.u64("trials", 3);
+    let threads = args.usize("threads", 8);
+    let crash_after = args.u64("crash-after", 2_000_000);
+
+    println!("structure,trial,recovery_ms");
+    let mut averages: Vec<(String, f64)> = Vec::new();
+
+    // --- UPSkipList ---
+    let mut total = 0.0;
+    for trial in 0..trials {
+        let d = Deployment {
+            tracked: true,
+            ..Deployment::simple(records)
+        };
+        let list = build_upskiplist(&d, 256);
+        let index: Arc<dyn KvIndex> = Arc::clone(&list) as _;
+        let controller = Arc::clone(list.space().pool(0).crash_controller());
+        run_inserts_until_crash(
+            Arc::clone(&index),
+            Arc::clone(&controller),
+            1,
+            threads,
+            crash_after,
+        );
+        controller.disarm();
+        for pool in list.space().pools() {
+            pool.simulate_crash();
+        }
+        let t0 = Instant::now();
+        list.recover();
+        let ms = t0.elapsed().as_secs_f64() * 1000.0;
+        // Ready to serve: one probe op.
+        let _ = list.get(1);
+        println!("upskiplist,{trial},{ms:.3}");
+        total += ms;
+    }
+    averages.push(("upskiplist".into(), total / trials as f64));
+
+    // --- BzTree at two descriptor-pool sizes ---
+    for desc in [500_000usize, 100_000] {
+        let mut total = 0.0;
+        for trial in 0..trials {
+            let d = Deployment {
+                tracked: true,
+                ..Deployment::simple(records)
+            };
+            let tree = build_bztree(&d, desc);
+            let pool = Arc::clone(tree.pool());
+            let index: Arc<dyn KvIndex> = Arc::clone(&tree) as _;
+            let controller = Arc::clone(pool.crash_controller());
+            run_inserts_until_crash(index, Arc::clone(&controller), 1, threads, crash_after);
+            controller.disarm();
+            pool.simulate_crash();
+            drop(tree);
+            let t0 = Instant::now();
+            let (tree, stats) = bztree::BzTree::open(Arc::clone(&pool));
+            let ms = t0.elapsed().as_secs_f64() * 1000.0;
+            assert_eq!(stats.descriptors_scanned, desc as u64);
+            let _ = tree.get(1);
+            println!("bztree_{desc}desc,{trial},{ms:.3}");
+            total += ms;
+        }
+        averages.push((format!("bztree_{desc}desc"), total / trials as f64));
+    }
+
+    // --- PMDK lock-based skip list ---
+    let mut total = 0.0;
+    for trial in 0..trials {
+        let d = Deployment {
+            tracked: true,
+            ..Deployment::simple(records)
+        };
+        let list = build_pmdkskip(&d);
+        let pool = Arc::clone(list.pool());
+        let index: Arc<dyn KvIndex> = Arc::clone(&list) as _;
+        let controller = Arc::clone(pool.crash_controller());
+        run_inserts_until_crash(index, Arc::clone(&controller), 1, threads, crash_after);
+        controller.disarm();
+        pool.simulate_crash();
+        drop(list);
+        let t0 = Instant::now();
+        let (list, _rolled) = pmdkskip::PmdkSkipList::open(Arc::clone(&pool));
+        let ms = t0.elapsed().as_secs_f64() * 1000.0;
+        let _ = list.get(1);
+        println!("pmdkskip,{trial},{ms:.3}");
+        total += ms;
+    }
+    averages.push(("pmdkskip".into(), total / trials as f64));
+
+    // --- Hybrid DRAM/PMEM skip list (NV-Skiplist style, extension) ---
+    // Recovery rebuilds the volatile index by scanning the bottom level.
+    let mut total = 0.0;
+    for trial in 0..trials {
+        let pool = bench::build_pool(
+            &Deployment {
+                tracked: true,
+                ..Deployment::simple(records)
+            },
+            8 + 3 * 4 * records + (1 << 20),
+        );
+        let list = hybridskip::HybridSkipList::create(Arc::clone(&pool));
+        let index: Arc<dyn KvIndex> = Arc::clone(&list) as _;
+        let controller = Arc::clone(pool.crash_controller());
+        run_inserts_until_crash(index, Arc::clone(&controller), 1, threads, crash_after);
+        controller.disarm();
+        pool.simulate_crash();
+        drop(list);
+        let t0 = Instant::now();
+        let (list, _scanned) = hybridskip::HybridSkipList::open(Arc::clone(&pool));
+        let ms = t0.elapsed().as_secs_f64() * 1000.0;
+        let _ = list.get(1);
+        println!("hybridskip,{trial},{ms:.3}");
+        total += ms;
+    }
+    averages.push(("hybridskip".into(), total / trials as f64));
+
+    println!();
+    println!("structure,avg_recovery_ms");
+    for (name, avg) in averages {
+        println!("{name},{avg:.3}");
+    }
+
+    // --- Recovery vs structure size: the §4.1 practicality argument.
+    // UPSkipList's restart cost is O(pools); the hybrid design's is O(n).
+    println!();
+    println!("records,upskiplist_ms,hybridskip_ms");
+    for n in [records / 4, records, records * 4] {
+        // UPSkipList at size n.
+        let d = Deployment {
+            tracked: true,
+            ..Deployment::simple(n)
+        };
+        let ups = build_upskiplist(&d, 256);
+        for k in 1..=n {
+            ups.insert(k, k);
+        }
+        for pool in ups.space().pools() {
+            pool.simulate_crash();
+        }
+        let t0 = Instant::now();
+        ups.recover();
+        let _ = ups.get(1);
+        let ups_ms = t0.elapsed().as_secs_f64() * 1000.0;
+        // Hybrid at size n.
+        let pool = bench::build_pool(&d, 8 + 3 * 2 * n + (1 << 20));
+        let hy = hybridskip::HybridSkipList::create(Arc::clone(&pool));
+        for k in 1..=n {
+            hy.insert(k, k);
+        }
+        pool.mark_all_persisted();
+        pool.simulate_crash();
+        drop(hy);
+        let t0 = Instant::now();
+        let (hy, _) = hybridskip::HybridSkipList::open(Arc::clone(&pool));
+        let _ = hy.get(1);
+        let hy_ms = t0.elapsed().as_secs_f64() * 1000.0;
+        println!("{n},{ups_ms:.3},{hy_ms:.3}");
+    }
+}

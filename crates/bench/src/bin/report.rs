@@ -1,0 +1,114 @@
+//! Summarize the CSVs produced by `run_experiments.sh` into the markdown
+//! tables EXPERIMENTS.md is built from.
+//!
+//! ```text
+//! cargo run --release -p bench --bin report -- --dir results
+//! ```
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use bench::Args;
+
+fn read_csv(path: &Path) -> Vec<Vec<String>> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| l.split(',').map(|c| c.trim().to_string()).collect())
+        .collect()
+}
+
+fn throughput_table(dir: &Path) {
+    let rows = read_csv(&dir.join("e1_e2_throughput.csv"));
+    if rows.len() < 2 {
+        return;
+    }
+    // (workload, structure) -> threads -> mops
+    let mut by_cell: BTreeMap<(String, String), BTreeMap<u64, f64>> = BTreeMap::new();
+    let mut threads: Vec<u64> = Vec::new();
+    for r in rows.iter().skip(1) {
+        if r.len() != 4 || r[0] == "workload" {
+            continue;
+        }
+        let t: u64 = r[2].parse().unwrap_or(0);
+        let m: f64 = r[3].parse().unwrap_or(0.0);
+        by_cell
+            .entry((r[0].clone(), r[1].clone()))
+            .or_default()
+            .insert(t, m);
+        if !threads.contains(&t) {
+            threads.push(t);
+        }
+    }
+    threads.sort_unstable();
+    println!("## E1/E2 — throughput (Mops/s)\n");
+    print!("| workload | structure |");
+    for t in &threads {
+        print!(" {t} thr |");
+    }
+    println!();
+    print!("|---|---|");
+    for _ in &threads {
+        print!("---|");
+    }
+    println!();
+    for ((w, s), cells) in &by_cell {
+        print!("| {w} | {s} |");
+        for t in &threads {
+            match cells.get(t) {
+                Some(m) => print!(" {m:.3} |"),
+                None => print!(" – |"),
+            }
+        }
+        println!();
+    }
+    println!();
+}
+
+fn simple_table(dir: &Path, file: &str, title: &str) {
+    let rows = read_csv(&dir.join(file));
+    if rows.len() < 2 {
+        return;
+    }
+    println!("## {title}\n");
+    let mut header_done = false;
+    for r in &rows {
+        if r.iter().all(|c| c.is_empty()) {
+            continue;
+        }
+        println!("| {} |", r.join(" | "));
+        if !header_done {
+            println!("|{}", "---|".repeat(r.len()));
+            header_done = true;
+        }
+    }
+    println!();
+}
+
+fn crash_summary(dir: &Path) {
+    for (file, title) in [
+        ("e7_crash_test.txt", "E7 — crash testing"),
+        ("e7_corruption_control.txt", "E7 — corruption control"),
+    ] {
+        if let Ok(text) = std::fs::read_to_string(dir.join(file)) {
+            if let Some(line) = text.lines().rev().find(|l| l.contains("trials")) {
+                println!("## {title}\n\n{line}\n");
+            }
+        }
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let dir = args.get("dir").unwrap_or("results").to_string();
+    let dir = Path::new(&dir);
+    println!("# Experiment report ({})\n", dir.display());
+    throughput_table(dir);
+    simple_table(dir, "e3_pointer_compare.csv", "E3 — RIV vs fat pointers");
+    simple_table(dir, "e4_numa_compare.csv", "E4 — striped vs multi-pool");
+    simple_table(dir, "e5_latency.csv", "E5 — latency percentiles (µs)");
+    simple_table(dir, "e6_recovery.csv", "E6 — recovery time (ms)");
+    crash_summary(dir);
+}

@@ -1,0 +1,54 @@
+//! E1/E2 — Figures 5.1 and 5.2: YCSB throughput vs thread count for
+//! UPSkipList, BzTree, and the PMDK lock-based skip list.
+//!
+//! ```text
+//! cargo run --release -p bench --bin throughput -- \
+//!     --workloads A,B,C,D --threads 1,2,4,8 --records 200000 --ops 400000
+//! ```
+//! Emits CSV: `workload,structure,threads,mops`.
+
+use std::sync::Arc;
+
+use bench::{build_bztree, build_pmdkskip, build_upskiplist, Args, Deployment, KvIndex};
+use ycsb::workload_by_name;
+
+fn main() {
+    let args = Args::parse();
+    let records = args.u64("records", 200_000);
+    let ops = args.u64("ops", 400_000);
+    let threads = if args.get("threads").is_some() {
+        args.usize_list("threads", "")
+    } else {
+        bench::default_thread_sweep()
+    };
+    let workloads = args.list("workloads", "A,B,C,D");
+    let structures = args.list("structures", "upskiplist,bztree,pmdkskip");
+    let desc_count = args.usize("descriptors", 500_000.min(records as usize));
+
+    println!("workload,structure,threads,mops");
+    for wname in &workloads {
+        let spec = workload_by_name(wname).unwrap_or_else(|| panic!("unknown workload {wname}"));
+        for t in &threads {
+            let w = ycsb::generate(spec, records, ops, *t, 42);
+            for s in &structures {
+                let d = Deployment::simple(records);
+                let index: Arc<dyn KvIndex> = match s.as_str() {
+                    "upskiplist" => build_upskiplist(&d, 256),
+                    "bztree" => build_bztree(&d, desc_count),
+                    "pmdkskip" => build_pmdkskip(&d),
+                    other => panic!("unknown structure {other}"),
+                };
+                bench::load(&index, &w, (*t).max(4), 1);
+                // Warm-up pass (caches, free lists), then the measured run.
+                let _ = bench::run(&index, &w, 1, false, "warmup");
+                let name: &'static str = match s.as_str() {
+                    "upskiplist" => "upskiplist",
+                    "bztree" => "bztree",
+                    _ => "pmdkskip",
+                };
+                let r = bench::run(&index, &w, 1, false, name);
+                println!("{},{},{},{:.4}", spec.name, name, t, r.mops());
+            }
+        }
+    }
+}

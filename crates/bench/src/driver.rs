@@ -1,0 +1,195 @@
+//! Workload playback: pre-load, warm-up, timed run, latency capture.
+//!
+//! Mirrors the thesis's methodology (§5.1.2): workloads are generated up
+//! front and played back by driver threads pinned round-robin to NUMA
+//! nodes; throughput is measured over the whole run after a warm-up pass,
+//! and latencies are captured per operation type.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use ycsb::{Op, Workload};
+
+use crate::index::KvIndex;
+
+/// Result of one measured run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    pub structure: &'static str,
+    pub workload: &'static str,
+    pub threads: usize,
+    pub ops: u64,
+    pub seconds: f64,
+    /// Per-op latencies in nanoseconds, by type, when requested.
+    pub read_latencies: Vec<u64>,
+    pub update_latencies: Vec<u64>,
+    pub insert_latencies: Vec<u64>,
+}
+
+impl RunResult {
+    pub fn mops(&self) -> f64 {
+        self.ops as f64 / self.seconds / 1e6
+    }
+}
+
+/// Extract the value at a percentile (0.0–100.0) from a latency sample.
+pub fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Pre-load the structure (phase 1), threads striped over NUMA nodes.
+pub fn load<I: KvIndex + ?Sized>(
+    index: &Arc<I>,
+    workload: &Workload,
+    threads: usize,
+    numa_nodes: u16,
+) {
+    let chunk = workload.load.len().div_ceil(threads);
+    std::thread::scope(|s| {
+        for (t, part) in workload.load.chunks(chunk.max(1)).enumerate() {
+            let index = Arc::clone(index);
+            s.spawn(move || {
+                pmem::thread::register(t, (t as u16) % numa_nodes.max(1));
+                for &(k, v) in part {
+                    index.insert(k, v);
+                }
+            });
+        }
+    });
+}
+
+/// Play back the run phase and measure. `capture_latency` switches on
+/// per-op timing (used by the latency experiment; it adds overhead, so the
+/// throughput experiments leave it off).
+pub fn run<I: KvIndex + ?Sized>(
+    index: &Arc<I>,
+    workload: &Workload,
+    numa_nodes: u16,
+    capture_latency: bool,
+    structure: &'static str,
+) -> RunResult {
+    let threads = workload.ops.len();
+    let started = Instant::now();
+    let mut lat: Vec<(Vec<u64>, Vec<u64>, Vec<u64>)> = Vec::new();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = workload
+            .ops
+            .iter()
+            .enumerate()
+            .map(|(t, trace)| {
+                let index = Arc::clone(index);
+                s.spawn(move || {
+                    pmem::thread::register(t, (t as u16) % numa_nodes.max(1));
+                    let mut reads = Vec::new();
+                    let mut updates = Vec::new();
+                    let mut inserts = Vec::new();
+                    for op in trace {
+                        if capture_latency {
+                            let t0 = Instant::now();
+                            match *op {
+                                Op::Read(k) => {
+                                    std::hint::black_box(index.get(k));
+                                    reads.push(t0.elapsed().as_nanos() as u64);
+                                }
+                                Op::Scan(k, n) => {
+                                    std::hint::black_box(index.scan(k, n as usize));
+                                    reads.push(t0.elapsed().as_nanos() as u64);
+                                }
+                                Op::Rmw(k, v) => {
+                                    std::hint::black_box(index.get(k));
+                                    index.insert(k, v);
+                                    updates.push(t0.elapsed().as_nanos() as u64);
+                                }
+                                Op::Update(k, v) => {
+                                    index.insert(k, v);
+                                    updates.push(t0.elapsed().as_nanos() as u64);
+                                }
+                                Op::Insert(k, v) => {
+                                    index.insert(k, v);
+                                    inserts.push(t0.elapsed().as_nanos() as u64);
+                                }
+                            }
+                        } else {
+                            match *op {
+                                Op::Read(k) => {
+                                    std::hint::black_box(index.get(k));
+                                }
+                                Op::Scan(k, n) => {
+                                    std::hint::black_box(index.scan(k, n as usize));
+                                }
+                                Op::Rmw(k, v) => {
+                                    std::hint::black_box(index.get(k));
+                                    index.insert(k, v);
+                                }
+                                Op::Update(k, v) | Op::Insert(k, v) => {
+                                    index.insert(k, v);
+                                }
+                            }
+                        }
+                    }
+                    (reads, updates, inserts)
+                })
+            })
+            .collect();
+        for h in handles {
+            lat.push(h.join().expect("worker panicked"));
+        }
+    });
+    let seconds = started.elapsed().as_secs_f64();
+    let ops: u64 = workload.ops.iter().map(|t| t.len() as u64).sum();
+    let mut read_latencies = Vec::new();
+    let mut update_latencies = Vec::new();
+    let mut insert_latencies = Vec::new();
+    for (r, u, i) in lat {
+        read_latencies.extend(r);
+        update_latencies.extend(u);
+        insert_latencies.extend(i);
+    }
+    read_latencies.sort_unstable();
+    update_latencies.sort_unstable();
+    insert_latencies.sort_unstable();
+    RunResult {
+        structure,
+        workload: workload.spec.name,
+        threads,
+        ops,
+        seconds,
+        read_latencies,
+        update_latencies,
+        insert_latencies,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::{build_upskiplist, Deployment};
+    use ycsb::{generate, WORKLOAD_A};
+
+    #[test]
+    fn percentile_extraction() {
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 0.0), 1);
+        assert_eq!(percentile(&v, 50.0), 51);
+        assert_eq!(percentile(&v, 100.0), 100);
+        assert_eq!(percentile(&[], 50.0), 0);
+    }
+
+    #[test]
+    fn load_and_run_complete() {
+        let d = Deployment::simple(1000);
+        let idx = build_upskiplist(&d, 16);
+        let w = generate(WORKLOAD_A, 1000, 4000, 4, 1);
+        load(&idx, &w, 4, 1);
+        assert_eq!(idx.count_live(), 1000);
+        let r = run(&idx, &w, 1, true, "upskiplist");
+        assert_eq!(r.ops, 4000);
+        assert!(r.mops() > 0.0);
+        assert!(!r.read_latencies.is_empty());
+        assert!(!r.update_latencies.is_empty());
+    }
+}

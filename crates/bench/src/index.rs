@@ -1,0 +1,218 @@
+//! A uniform key-value interface over the three structures under test,
+//! plus sized constructors for benchmark-scale deployments.
+
+use std::sync::Arc;
+
+use bztree::BzTree;
+use hybridskip::HybridSkipList;
+use pmdkskip::PmdkSkipList;
+use pmem::pool::PoolConfig;
+use pmem::{LatencyModel, PersistenceMode, Placement, Pool};
+use upskiplist::{ListBuilder, ListConfig, UpSkipList};
+
+/// What the benchmarks need from an index.
+pub trait KvIndex: Send + Sync {
+    fn name(&self) -> &'static str;
+    fn insert(&self, key: u64, value: u64) -> Option<u64>;
+    fn get(&self, key: u64) -> Option<u64>;
+    /// Range scan from `from`, up to `limit` records (workload E).
+    /// Returns the number of records visited.
+    fn scan(&self, from: u64, limit: usize) -> usize;
+}
+
+impl KvIndex for UpSkipList {
+    fn name(&self) -> &'static str {
+        "upskiplist"
+    }
+    fn insert(&self, key: u64, value: u64) -> Option<u64> {
+        UpSkipList::insert(self, key, value)
+    }
+    fn get(&self, key: u64) -> Option<u64> {
+        UpSkipList::get(self, key)
+    }
+    fn scan(&self, from: u64, limit: usize) -> usize {
+        UpSkipList::scan(self, from, limit).len()
+    }
+}
+
+impl KvIndex for BzTree {
+    fn name(&self) -> &'static str {
+        "bztree"
+    }
+    fn insert(&self, key: u64, value: u64) -> Option<u64> {
+        BzTree::insert(self, key, value)
+    }
+    fn get(&self, key: u64) -> Option<u64> {
+        BzTree::get(self, key)
+    }
+    fn scan(&self, from: u64, limit: usize) -> usize {
+        BzTree::scan(self, from, limit).len()
+    }
+}
+
+impl KvIndex for PmdkSkipList {
+    fn name(&self) -> &'static str {
+        "pmdkskip"
+    }
+    fn insert(&self, key: u64, value: u64) -> Option<u64> {
+        PmdkSkipList::insert(self, key, value)
+    }
+    fn get(&self, key: u64) -> Option<u64> {
+        PmdkSkipList::get(self, key)
+    }
+    fn scan(&self, from: u64, limit: usize) -> usize {
+        PmdkSkipList::scan(self, from, limit).len()
+    }
+}
+
+impl KvIndex for HybridSkipList {
+    fn name(&self) -> &'static str {
+        "hybridskip"
+    }
+    fn insert(&self, key: u64, value: u64) -> Option<u64> {
+        HybridSkipList::insert(self, key, value)
+    }
+    fn get(&self, key: u64) -> Option<u64> {
+        HybridSkipList::get(self, key)
+    }
+    fn scan(&self, _from: u64, _limit: usize) -> usize {
+        unimplemented!("the hybrid baseline is used for recovery experiments only")
+    }
+}
+
+/// Deployment knobs shared by the constructors.
+#[derive(Debug, Clone, Copy)]
+pub struct Deployment {
+    pub records: u64,
+    pub tracked: bool,
+    pub latency: LatencyModel,
+    /// >1 ⇒ one pool per NUMA node (UPSkipList only).
+    pub num_pools: u16,
+    /// For single-pool deployments: stripe across this many nodes.
+    pub striped_nodes: u16,
+}
+
+impl Deployment {
+    pub fn simple(records: u64) -> Self {
+        Self {
+            records,
+            tracked: false,
+            latency: LatencyModel::pmem_default(),
+            num_pools: 1,
+            striped_nodes: 1,
+        }
+    }
+}
+
+/// UPSkipList sized for the deployment. `keys_per_node` = 256 matches the
+/// evaluation (§5.1.2); 1 reproduces the single-key variant of Fig 5.3.
+pub fn build_upskiplist(d: &Deployment, keys_per_node: usize) -> Arc<UpSkipList> {
+    build_upskiplist_opts(d, keys_per_node, false, 0)
+}
+
+/// [`build_upskiplist`] with the sorted-lookup extension and/or the
+/// random-eviction persistence mode (crash campaigns use both).
+pub fn build_upskiplist_opts(
+    d: &Deployment,
+    keys_per_node: usize,
+    sorted_lookups: bool,
+    evict_one_in: u32,
+) -> Arc<UpSkipList> {
+    // Tower height sized to the expected node count (the thesis tunes its
+    // parameters per machine, §5.1.2; 32 levels over ~400 K nodes there).
+    let nodes = (d.records * 3 / 2) / keys_per_node as u64 + 64;
+    let height = (64 - u64::leading_zeros(nodes.max(2)) as usize + 2).clamp(8, 32);
+    let mut cfg = ListConfig::new(height, keys_per_node);
+    cfg.sorted_lookups = sorted_lookups;
+    let node_words = upskiplist::layout::node_words(&cfg).div_ceil(8) * 8;
+    let blocks_per_chunk = 512.min(nodes.max(16));
+    let chunk_words = blocks_per_chunk * node_words;
+    // Each pool provisions whole chunks per arena, so leave headroom for
+    // one round of chunks per arena on top of the node footprint.
+    let per_pool = (nodes * node_words * 2) / d.num_pools as u64 + 12 * chunk_words + (1 << 20);
+    ListBuilder {
+        list: cfg,
+        num_pools: d.num_pools,
+        pool_words: per_pool,
+        striped_nodes: d.striped_nodes,
+        mode: if d.tracked {
+            PersistenceMode::Tracked
+        } else {
+            PersistenceMode::Fast
+        },
+        latency: d.latency,
+        evict_one_in,
+        num_arenas: 8,
+        blocks_per_chunk,
+        collect_stats: false,
+    }
+    .create()
+}
+
+/// A pool for single-pool baselines.
+pub fn build_pool(d: &Deployment, words: u64) -> Arc<Pool> {
+    Pool::new(
+        PoolConfig {
+            id: 0,
+            len_words: words,
+            placement: if d.striped_nodes > 1 {
+                Placement::Striped {
+                    nodes: d.striped_nodes,
+                    stripe_words: 1 << 18,
+                }
+            } else {
+                Placement::Node(0)
+            },
+            mode: if d.tracked {
+                PersistenceMode::Tracked
+            } else {
+                PersistenceMode::Fast
+            },
+            latency: d.latency,
+            evict_one_in: 0,
+            collect_stats: false,
+        },
+        Arc::new(pmem::CrashController::new()),
+    )
+}
+
+/// BzTree sized for the deployment (512-record leaves; splits path-copy
+/// the inner nodes, so that churn is included in the sizing).
+pub fn build_bztree(d: &Deployment, desc_count: usize) -> Arc<BzTree> {
+    let leaf_cap = 512u64;
+    let leaves = 2 * d.records / (leaf_cap / 2) + 16;
+    let leaf_words = (2 + 2 * leaf_cap) * 2 * leaves; // live + leaked
+                                                      // Each split copies O(fanout · depth) inner entries; superseded copies
+                                                      // leak (epoch GC stand-in), so budget generously.
+    let inner_words = leaves * 64 * 4 + (1 << 16);
+    let desc_words = pmwcas::DescriptorPool::region_words(desc_count);
+    let words = 64 + desc_words + leaf_words + inner_words + (1 << 20);
+    BzTree::create(build_pool(d, words), leaf_cap, desc_count)
+}
+
+/// The lock-based PMDK-style skip list sized for the deployment.
+pub fn build_pmdkskip(d: &Deployment) -> Arc<PmdkSkipList> {
+    let node_words = 5 + 2 * 32 + 2; // max-height node + header
+    let words = pmemtx::TxHeap::overhead_words(8) + 2 * d.records * node_words + (1 << 20);
+    PmdkSkipList::create(build_pool(d, words), 32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_three_builders_produce_working_indexes() {
+        let d = Deployment::simple(1000);
+        let idx: Vec<Arc<dyn KvIndex>> = vec![
+            build_upskiplist(&d, 16),
+            build_bztree(&d, 1024),
+            build_pmdkskip(&d),
+        ];
+        for i in idx {
+            assert_eq!(i.insert(10, 100), None, "{}", i.name());
+            assert_eq!(i.get(10), Some(100), "{}", i.name());
+            assert_eq!(i.insert(10, 101), Some(100), "{}", i.name());
+        }
+    }
+}

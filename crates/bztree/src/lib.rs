@@ -1,0 +1,736 @@
+//! # bztree — the latch-free PMwCAS-based baseline index
+//!
+//! A reimplementation (structurally simplified, behaviourally faithful) of
+//! BzTree [Arulraj et al., VLDB'18] as used for the thesis's comparison
+//! (§5.1.2, Lersch et al.'s variant with 8-byte keys/values):
+//!
+//! * every write goes through a [`pmwcas::DescriptorPool`] — slot
+//!   reservations and value updates are PMwCAS operations, so writers
+//!   contend on descriptor allocation and helping, which is exactly the
+//!   bottleneck the thesis measures at high update concurrency (§5.2.1);
+//! * leaf nodes keep a **sorted base region** (binary-searched) plus an
+//!   **unsorted append region** (linearly scanned), giving BzTree its fast
+//!   reads (§5.2.1);
+//! * full leaves are **frozen** and consolidated into sorted replacements;
+//!   any thread that meets a frozen leaf helps complete the split;
+//! * recovery is the PMwCAS recovery pass over the whole descriptor pool —
+//!   time proportional to the pool size (Table 5.4).
+//!
+//! Inner nodes are immutable sorted separator arrays, updated by **path
+//! copying**: a split consolidates the frozen leaf and atomically swaps a
+//! single root word (packed `root offset | tree height`) with PMwCAS, so
+//! the whole tree version changes at once and helpers simply retry against
+//! the new root. Frozen leaves and superseded inner nodes are leaked,
+//! standing in for BzTree's epoch-based garbage collection.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use pmem::Pool;
+use pmwcas::{DescriptorPool, DESC_WORDS, VALUE_MASK};
+
+const ROOT_MAGIC: u64 = 0x425a_5452_4545_0001;
+
+const R_MAGIC: u64 = 0;
+/// Root word: `(root inner node offset << 4) | tree height` — swapped as
+/// one PMwCAS word so lookups always see a consistent (root, height) pair.
+const R_ROOT: u64 = 1;
+const R_BUMP: u64 = 2;
+const R_CAP: u64 = 3;
+const R_DESC_COUNT: u64 = 4;
+const DESC_BASE: u64 = 8;
+
+#[inline]
+fn pack_root(off: u64, height: u64) -> u64 {
+    debug_assert!(height <= 0xf && off < 1 << 58);
+    (off << 4) | height
+}
+
+#[inline]
+fn root_off(word: u64) -> u64 {
+    word >> 4
+}
+
+#[inline]
+fn root_height(word: u64) -> u64 {
+    word & 0xf
+}
+
+// Leaf layout.
+const L_STATUS: u64 = 0; // bit 0 = frozen, bits 1.. = record count
+const L_SORTED: u64 = 1; // records in the sorted base region
+const L_RECORDS: u64 = 2; // (key, value) pairs
+
+// Inner-node layout (immutable after construction).
+const I_COUNT: u64 = 0;
+const I_ENTRIES: u64 = 1; // (separator, child) pairs, ascending separators
+/// Maximum entries per inner node before it splits.
+const FANOUT: u64 = 64;
+
+const FROZEN: u64 = 1;
+/// Status word layout: [frozen:1 | record count:20 | publish version:41].
+/// The version is bumped by every record publish, so concurrent publishes
+/// (and publishes racing updates) conflict on the status word — real
+/// BzTree's visible-bit serialization.
+const COUNT_SHIFT: u64 = 1;
+const COUNT_MASK: u64 = 0xf_ffff;
+const VERSION_UNIT: u64 = 1 << 21;
+
+#[inline]
+fn status_count(st: u64) -> u64 {
+    (st >> COUNT_SHIFT) & COUNT_MASK
+}
+
+#[inline]
+fn status_with_count(st: u64, count: u64) -> u64 {
+    debug_assert!(count <= COUNT_MASK);
+    (st & !(COUNT_MASK << COUNT_SHIFT)) | (count << COUNT_SHIFT)
+}
+
+#[inline]
+fn bump_version(st: u64) -> u64 {
+    st.wrapping_add(VERSION_UNIT) & VALUE_MASK
+}
+
+#[inline]
+fn is_frozen(st: u64) -> bool {
+    st & FROZEN != 0
+}
+
+/// The BzTree handle.
+pub struct BzTree {
+    dp: DescriptorPool,
+    pool: Arc<Pool>,
+    leaf_capacity: u64,
+}
+
+impl std::fmt::Debug for BzTree {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BzTree")
+            .field("leaf_capacity", &self.leaf_capacity)
+            .finish()
+    }
+}
+
+/// Timing/result of a recovery pass.
+pub use pmwcas::RecoveryStats;
+
+impl BzTree {
+    /// Format a fresh pool with `desc_count` PMwCAS descriptors and leaves
+    /// holding `leaf_capacity` records.
+    pub fn create(pool: Arc<Pool>, leaf_capacity: u64, desc_count: usize) -> Arc<Self> {
+        assert!(leaf_capacity >= 2);
+        let data_base = DESC_BASE + desc_count as u64 * DESC_WORDS;
+        pool.write(R_BUMP, data_base);
+        pool.write(R_CAP, leaf_capacity);
+        pool.write(R_DESC_COUNT, desc_count as u64);
+        let dp = DescriptorPool::new(Arc::clone(&pool), DESC_BASE, desc_count);
+        let t = Self {
+            dp,
+            pool: Arc::clone(&pool),
+            leaf_capacity,
+        };
+        let leaf = t.alloc_leaf();
+        let root = t.alloc_inner(&[(0, leaf)]); // separator 0 covers everything
+        pool.write(R_ROOT, pack_root(root, 1));
+        pool.write(R_MAGIC, ROOT_MAGIC);
+        pool.persist(0, 8);
+        Arc::new(t)
+    }
+
+    /// Reconnect after a restart: runs the sequential PMwCAS recovery scan
+    /// (the dominant cost in Table 5.4) and returns its stats.
+    pub fn open(pool: Arc<Pool>) -> (Arc<Self>, RecoveryStats) {
+        assert_eq!(pool.read(R_MAGIC), ROOT_MAGIC, "pool holds no BzTree root");
+        let leaf_capacity = pool.read(R_CAP);
+        let desc_count = pool.read(R_DESC_COUNT) as usize;
+        let dp = DescriptorPool::new(Arc::clone(&pool), DESC_BASE, desc_count);
+        let stats = dp.recover();
+        (
+            Arc::new(Self {
+                dp,
+                pool,
+                leaf_capacity,
+            }),
+            stats,
+        )
+    }
+
+    #[inline]
+    pub fn pool(&self) -> &Arc<Pool> {
+        &self.pool
+    }
+
+    fn alloc(&self, words: u64) -> u64 {
+        loop {
+            let cur = self.pool.read(R_BUMP);
+            assert!(
+                cur + words <= self.pool.len_words(),
+                "bztree pool exhausted"
+            );
+            if self.pool.cas(R_BUMP, cur, cur + words).is_ok() {
+                self.pool.persist(R_BUMP, 1);
+                return cur;
+            }
+        }
+    }
+
+    fn alloc_leaf(&self) -> u64 {
+        let leaf = self.alloc(L_RECORDS + 2 * self.leaf_capacity);
+        self.pool.write(leaf + L_STATUS, 0);
+        self.pool.write(leaf + L_SORTED, 0);
+        self.pool.persist(leaf, 2);
+        leaf
+    }
+
+    /// Allocate an immutable inner node from `(separator, child)` entries.
+    fn alloc_inner(&self, entries: &[(u64, u64)]) -> u64 {
+        let node = self.alloc(I_ENTRIES + 2 * entries.len() as u64);
+        self.pool.write(node + I_COUNT, entries.len() as u64);
+        for (i, &(sep, child)) in entries.iter().enumerate() {
+            self.pool.write(node + I_ENTRIES + 2 * i as u64, sep);
+            self.pool.write(node + I_ENTRIES + 2 * i as u64 + 1, child);
+        }
+        self.pool
+            .persist(node, I_ENTRIES + 2 * entries.len() as u64);
+        node
+    }
+
+    /// Rightmost slot of an inner node whose separator ≤ key.
+    fn inner_slot(&self, inner: u64, key: u64) -> u64 {
+        let count = self.pool.read(inner + I_COUNT);
+        let (mut lo, mut hi) = (0u64, count - 1);
+        while lo < hi {
+            let mid = (lo + hi).div_ceil(2);
+            if self.pool.read(inner + I_ENTRIES + 2 * mid) <= key {
+                lo = mid;
+            } else {
+                hi = mid - 1;
+            }
+        }
+        lo
+    }
+
+    /// Read one `(separator, child)` entry.
+    #[inline]
+    fn inner_entry(&self, inner: u64, slot: u64) -> (u64, u64) {
+        (
+            self.pool.read(inner + I_ENTRIES + 2 * slot),
+            self.pool.read(inner + I_ENTRIES + 2 * slot + 1),
+        )
+    }
+
+    /// Descend from a root word to the leaf covering `key`, recording the
+    /// `(inner, slot)` path (inner nodes are immutable, so the path stays
+    /// valid for the lifetime of this root version).
+    fn descend(&self, root_word: u64, key: u64) -> (u64, Vec<(u64, u64)>) {
+        let mut node = root_off(root_word);
+        let mut path = Vec::with_capacity(root_height(root_word) as usize);
+        for _ in 0..root_height(root_word) {
+            let slot = self.inner_slot(node, key);
+            path.push((node, slot));
+            node = self.inner_entry(node, slot).1;
+        }
+        (node, path)
+    }
+
+    /// Ordered `(separator, leaf)` pairs under a root version.
+    fn leaf_list(&self, root_word: u64) -> Vec<(u64, u64)> {
+        fn walk(t: &BzTree, node: u64, height: u64, sep: u64, out: &mut Vec<(u64, u64)>) {
+            if height == 0 {
+                out.push((sep, node));
+                return;
+            }
+            let count = t.pool.read(node + I_COUNT);
+            for i in 0..count {
+                let (s, child) = t.inner_entry(node, i);
+                walk(t, child, height - 1, if i == 0 { sep } else { s }, out);
+            }
+        }
+        let mut out = Vec::new();
+        walk(
+            self,
+            root_off(root_word),
+            root_height(root_word),
+            0,
+            &mut out,
+        );
+        out
+    }
+
+    /// Find `key` in a leaf: binary search over the sorted base region,
+    /// then a top-down scan of the append region (latest append wins).
+    /// The append region is streamed at cache-line granularity (hardware
+    /// prefetch); words carrying PMwCAS marker bits fall back to helping
+    /// reads.
+    fn find_in_leaf(&self, leaf: u64, key: u64, count: u64) -> Option<u64> {
+        let sorted = self.pool.read(leaf + L_SORTED).min(count);
+        if count > sorted {
+            thread_local! {
+                static BUF: std::cell::RefCell<Vec<u64>> = const { std::cell::RefCell::new(Vec::new()) };
+            }
+            let hit = BUF.with(|b| {
+                let mut buf = b.borrow_mut();
+                let n = (count - sorted) as usize * 2;
+                buf.clear();
+                buf.resize(n, 0);
+                self.pool
+                    .read_slice(leaf + L_RECORDS + 2 * sorted, &mut buf);
+                for i in (0..count - sorted).rev() {
+                    let mut k = buf[2 * i as usize];
+                    if k & (pmwcas::DESC | pmwcas::DIRTY) != 0 {
+                        k = self.dp.read(leaf + L_RECORDS + 2 * (sorted + i));
+                    }
+                    if k == key {
+                        return Some(sorted + i);
+                    }
+                }
+                None
+            });
+            if hit.is_some() {
+                return hit;
+            }
+        }
+        let (mut lo, mut hi) = (0i64, sorted as i64 - 1);
+        while lo <= hi {
+            let mid = (lo + hi) / 2;
+            let k = self.dp.read(leaf + L_RECORDS + 2 * mid as u64);
+            match k.cmp(&key) {
+                std::cmp::Ordering::Equal => return Some(mid as u64),
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid - 1,
+            }
+        }
+        None
+    }
+
+    /// Linearizable lookup.
+    pub fn get(&self, key: u64) -> Option<u64> {
+        assert!((1..=VALUE_MASK).contains(&key));
+        let root = self.dp.read(R_ROOT);
+        let (leaf, _) = self.descend(root, key);
+        let st = self.dp.read(leaf + L_STATUS);
+        let idx = self.find_in_leaf(leaf, key, status_count(st))?;
+        let v = self.dp.read(leaf + L_RECORDS + 2 * idx + 1);
+        (v != 0).then_some(v)
+    }
+
+    /// Upsert. Values must be nonzero (0 encodes "removed") and fit in 62
+    /// bits (PMwCAS reserves the top two).
+    pub fn insert(&self, key: u64, value: u64) -> Option<u64> {
+        assert!((1..=VALUE_MASK).contains(&key), "key out of range");
+        assert!((1..=VALUE_MASK).contains(&value), "value out of range");
+        loop {
+            let root = self.dp.read(R_ROOT);
+            let (leaf, _) = self.descend(root, key);
+            let st_addr = leaf + L_STATUS;
+            let st = self.dp.read(st_addr);
+            if is_frozen(st) {
+                self.complete_split(root, leaf, key);
+                continue;
+            }
+            let count = status_count(st);
+            if let Some(idx) = self.find_in_leaf(leaf, key, count) {
+                let vaddr = leaf + L_RECORDS + 2 * idx + 1;
+                let old = self.dp.read(vaddr);
+                // A 2-word PMwCAS: the unchanged status word detects a
+                // racing freeze or reservation, as in real BzTree.
+                if self.dp.pmwcas(&[(st_addr, st, st), (vaddr, old, value)]) {
+                    return (old != 0).then_some(old);
+                }
+                continue;
+            }
+            if count >= self.leaf_capacity {
+                self.split(root, leaf, key);
+                continue;
+            }
+            // Reserve the next slot.
+            if !self
+                .dp
+                .pmwcas(&[(st_addr, st, status_with_count(st, count + 1))])
+            {
+                continue;
+            }
+            let rec = leaf + L_RECORDS + 2 * count;
+            // Value first (the record is invisible while its key word is
+            // 0), then publish the key with a PMwCAS that both checks the
+            // status word (a racing freeze fails the publish and the
+            // insert retries in the replacement leaf) and bumps its
+            // publish version (so two same-key publishes conflict). Before
+            // each publish attempt, re-check for a duplicate made visible
+            // since our scan; if one appeared, abandon the reserved slot
+            // and retry from the top as an update — otherwise two fresh
+            // inserts of one key could both report success (a lost update
+            // our linearizability campaign caught).
+            self.pool.write(rec + 1, value);
+            self.pool.persist(rec + 1, 1);
+            loop {
+                let st_now = self.dp.read(st_addr);
+                if is_frozen(st_now) {
+                    break; // the slot dies with the frozen leaf
+                }
+                if self.find_in_leaf(leaf, key, status_count(st_now)).is_some() {
+                    break; // a duplicate won; fall back to the update path
+                }
+                if self
+                    .dp
+                    .pmwcas(&[(st_addr, st_now, bump_version(st_now)), (rec, 0, key)])
+                {
+                    return None;
+                }
+            }
+            continue;
+        }
+    }
+
+    /// Logical removal: the value 0 marks a dead record.
+    pub fn remove(&self, key: u64) -> Option<u64> {
+        assert!((1..=VALUE_MASK).contains(&key));
+        loop {
+            let root = self.dp.read(R_ROOT);
+            let (leaf, _) = self.descend(root, key);
+            let st_addr = leaf + L_STATUS;
+            let st = self.dp.read(st_addr);
+            if is_frozen(st) {
+                self.complete_split(root, leaf, key);
+                continue;
+            }
+            let idx = self.find_in_leaf(leaf, key, status_count(st))?;
+            let vaddr = leaf + L_RECORDS + 2 * idx + 1;
+            let old = self.dp.read(vaddr);
+            if old == 0 {
+                return None;
+            }
+            if self.dp.pmwcas(&[(st_addr, st, st), (vaddr, old, 0)]) {
+                return Some(old);
+            }
+        }
+    }
+
+    /// Freeze a full leaf and complete its split.
+    fn split(&self, root_word: u64, leaf: u64, key: u64) {
+        let st_addr = leaf + L_STATUS;
+        let st = self.dp.read(st_addr);
+        if !is_frozen(st) {
+            // Freezing may race; whoever succeeds, the leaf ends frozen.
+            let _ = self.dp.pmwcas(&[(st_addr, st, st | FROZEN)]);
+        }
+        self.complete_split(root_word, leaf, key);
+    }
+
+    /// Replace a frozen leaf with one or two consolidated (fully sorted)
+    /// leaves by path-copying its ancestors and swapping the packed root
+    /// word with PMwCAS. Every thread meeting a frozen leaf runs this, so
+    /// an interrupted split is always finished; a losing helper's copies
+    /// are leaked (epoch GC stands in).
+    fn complete_split(&self, root_word: u64, leaf: u64, key: u64) {
+        let (cur_leaf, path) = self.descend(root_word, key);
+        if cur_leaf != leaf {
+            return; // already replaced under this (or a newer) root
+        }
+        let recs = self.consolidate(leaf);
+        let halves: Vec<Vec<(u64, u64)>> = if recs.len() < 2 {
+            vec![recs]
+        } else {
+            let mid = recs.len() / 2;
+            vec![recs[..mid].to_vec(), recs[mid..].to_vec()]
+        };
+        // Carry entries replacing the parent's slot: the first keeps the
+        // parent's existing separator; later ones bring their own.
+        let mut carry: Vec<(Option<u64>, u64)> = Vec::new();
+        for (i, half) in halves.iter().enumerate() {
+            let nl = self.alloc_leaf();
+            for (j, &(k, v)) in half.iter().enumerate() {
+                self.pool.write(nl + L_RECORDS + 2 * j as u64, k);
+                self.pool.write(nl + L_RECORDS + 2 * j as u64 + 1, v);
+            }
+            self.pool.write(nl + L_SORTED, half.len() as u64);
+            self.pool
+                .write(nl + L_STATUS, status_with_count(0, half.len() as u64));
+            self.pool.persist(nl, L_RECORDS + 2 * half.len() as u64);
+            carry.push((if i == 0 { None } else { Some(half[0].0) }, nl));
+        }
+        // Path copy, bottom-up. Inner nodes are immutable, so each level
+        // is a fresh node with the changed slot spliced in.
+        for &(inner, slot) in path.iter().rev() {
+            let count = self.pool.read(inner + I_COUNT);
+            let mut entries: Vec<(u64, u64)> = Vec::with_capacity(count as usize + 1);
+            for i in 0..count {
+                if i == slot {
+                    let keep_sep = self.inner_entry(inner, i).0;
+                    for &(sep, child) in &carry {
+                        entries.push((sep.unwrap_or(keep_sep), child));
+                    }
+                } else {
+                    entries.push(self.inner_entry(inner, i));
+                }
+            }
+            carry = if entries.len() as u64 > FANOUT {
+                let mid = entries.len() / 2;
+                let right_sep = entries[mid].0;
+                let left = self.alloc_inner(&entries[..mid]);
+                let right = self.alloc_inner(&entries[mid..]);
+                vec![(None, left), (Some(right_sep), right)]
+            } else {
+                vec![(None, self.alloc_inner(&entries))]
+            };
+        }
+        let height = root_height(root_word);
+        let new_word = if carry.len() == 1 {
+            pack_root(carry[0].1, height)
+        } else {
+            // The root itself split: grow the tree by one level. The first
+            // separator of a root must cover all keys.
+            let entries: Vec<(u64, u64)> = carry
+                .iter()
+                .enumerate()
+                .map(|(i, &(sep, child))| (if i == 0 { 0 } else { sep.unwrap_or(0) }, child))
+                .collect();
+            pack_root(self.alloc_inner(&entries), height + 1)
+        };
+        // Install; on failure another helper won and our copies are leaked.
+        let _ = self.dp.pmwcas(&[(R_ROOT, root_word, new_word)]);
+    }
+
+    /// Live records of a leaf, deduplicated (latest wins) and sorted.
+    fn consolidate(&self, leaf: u64) -> Vec<(u64, u64)> {
+        let count = status_count(self.dp.read(leaf + L_STATUS));
+        let mut map = BTreeMap::new();
+        for i in 0..count {
+            let k = self.dp.read(leaf + L_RECORDS + 2 * i);
+            if k == 0 {
+                continue; // reserved but never written (crash window)
+            }
+            let v = self.dp.read(leaf + L_RECORDS + 2 * i + 1);
+            map.insert(k, v);
+        }
+        map.into_iter().filter(|&(_, v)| v != 0).collect()
+    }
+
+    /// Collect live pairs with keys in `[lo, hi]`, ascending. Weakly
+    /// consistent (per-leaf snapshots), like the skip lists' scans.
+    pub fn range(&self, lo: u64, hi: u64) -> Vec<(u64, u64)> {
+        assert!(lo <= hi);
+        let leaves = self.leaf_list(self.dp.read(R_ROOT));
+        let mut out = Vec::new();
+        for (i, &(sep, leaf)) in leaves.iter().enumerate() {
+            // The leaf spans [sep, next_sep); skip leaves fully outside.
+            if sep > hi {
+                break;
+            }
+            if i + 1 < leaves.len() && leaves[i + 1].0 <= lo {
+                continue;
+            }
+            out.extend(
+                self.consolidate(leaf)
+                    .into_iter()
+                    .filter(|&(k, _)| k >= lo && k <= hi),
+            );
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// YCSB-style scan: up to `limit` live pairs with keys ≥ `from`.
+    pub fn scan(&self, from: u64, limit: usize) -> Vec<(u64, u64)> {
+        let leaves = self.leaf_list(self.dp.read(R_ROOT));
+        let mut out = Vec::with_capacity(limit);
+        for (i, &(_sep, leaf)) in leaves.iter().enumerate() {
+            if out.len() >= limit {
+                break;
+            }
+            if i + 1 < leaves.len() && leaves[i + 1].0 <= from {
+                continue; // entirely below the start key
+            }
+            for (k, v) in self.consolidate(leaf) {
+                if k >= from && out.len() < limit {
+                    out.push((k, v));
+                }
+            }
+        }
+        out
+    }
+
+    /// Live keys (diagnostic; quiescent use only).
+    pub fn count_live(&self) -> usize {
+        self.leaf_list(self.dp.read(R_ROOT))
+            .into_iter()
+            .map(|(_, leaf)| self.consolidate(leaf).len())
+            .sum()
+    }
+
+    /// Current tree height in inner levels (diagnostic).
+    pub fn height(&self) -> u64 {
+        root_height(self.dp.read(R_ROOT))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree() -> Arc<BzTree> {
+        BzTree::create(Pool::simple(1 << 22), 8, 256)
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let t = tree();
+        assert_eq!(t.get(5), None);
+        assert_eq!(t.insert(5, 50), None);
+        assert_eq!(t.get(5), Some(50));
+        assert_eq!(t.insert(5, 51), Some(50));
+        assert_eq!(t.get(5), Some(51));
+    }
+
+    #[test]
+    fn remove_and_reinsert() {
+        let t = tree();
+        t.insert(5, 50);
+        assert_eq!(t.remove(5), Some(50));
+        assert_eq!(t.get(5), None);
+        assert_eq!(t.remove(5), None);
+        assert_eq!(t.insert(5, 52), None);
+        assert_eq!(t.get(5), Some(52));
+    }
+
+    #[test]
+    fn splits_keep_all_keys_reachable() {
+        let t = tree();
+        for k in 1..=500u64 {
+            assert_eq!(t.insert(k, k * 2), None, "insert {k}");
+        }
+        for k in 1..=500u64 {
+            assert_eq!(t.get(k), Some(k * 2), "key {k}");
+        }
+        assert_eq!(t.count_live(), 500);
+    }
+
+    #[test]
+    fn random_order_inserts_with_updates() {
+        use rand::{Rng, SeedableRng};
+        let t = tree();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut model = std::collections::BTreeMap::new();
+        for _ in 0..3000 {
+            let k = rng.gen_range(1..=400u64);
+            match rng.gen_range(0..3) {
+                0 => {
+                    let v = rng.gen_range(1..=1_000_000u64);
+                    assert_eq!(t.insert(k, v), model.insert(k, v), "insert {k}");
+                }
+                1 => assert_eq!(t.remove(k), model.remove(&k), "remove {k}"),
+                _ => assert_eq!(t.get(k), model.get(&k).copied(), "get {k}"),
+            }
+        }
+        assert_eq!(t.count_live(), model.len());
+    }
+
+    #[test]
+    fn concurrent_disjoint_inserts() {
+        let t = BzTree::create(Pool::simple(1 << 23), 32, 4096);
+        std::thread::scope(|s| {
+            for tid in 0..8u64 {
+                let t = &t;
+                s.spawn(move || {
+                    pmem::thread::register(tid as usize, 0);
+                    for i in 0..300u64 {
+                        let k = tid * 300 + i + 1;
+                        assert_eq!(t.insert(k, k), None);
+                    }
+                });
+            }
+        });
+        for k in 1..=2400u64 {
+            assert_eq!(t.get(k), Some(k), "key {k}");
+        }
+    }
+
+    #[test]
+    fn concurrent_updates_on_hot_keys() {
+        let t = BzTree::create(Pool::simple(1 << 22), 32, 4096);
+        for k in 1..=16u64 {
+            t.insert(k, 1);
+        }
+        std::thread::scope(|s| {
+            for tid in 0..8u64 {
+                let t = &t;
+                s.spawn(move || {
+                    pmem::thread::register(tid as usize, 0);
+                    for i in 0..200u64 {
+                        t.insert(i % 16 + 1, tid * 1000 + i + 1);
+                    }
+                });
+            }
+        });
+        for k in 1..=16u64 {
+            assert!(t.get(k).is_some());
+        }
+    }
+
+    #[test]
+    fn tree_grows_multiple_inner_levels() {
+        // Small leaves + fanout 64: 30k keys → ~900+ leaves → height ≥ 2.
+        let t = BzTree::create(Pool::simple(1 << 24), 8, 4096);
+        assert_eq!(t.height(), 1);
+        for k in 1..=30_000u64 {
+            t.insert(k, k);
+        }
+        assert!(
+            t.height() >= 2,
+            "expected a multi-level tree, got height {}",
+            t.height()
+        );
+        for k in (1..=30_000u64).step_by(997) {
+            assert_eq!(t.get(k), Some(k), "key {k}");
+        }
+        assert_eq!(t.count_live(), 30_000);
+        // Ordered enumeration across many inner nodes.
+        let first = t.scan(1, 100);
+        assert_eq!(first.len(), 100);
+        assert!(first.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn recovery_scans_descriptor_pool() {
+        let pool = Pool::tracked(1 << 22);
+        let t = BzTree::create(Arc::clone(&pool), 8, 500);
+        for k in 1..=100u64 {
+            t.insert(k, k);
+        }
+        pool.mark_all_persisted();
+        pool.simulate_crash();
+        drop(t);
+        let (t, stats) = BzTree::open(pool);
+        assert_eq!(stats.descriptors_scanned, 500);
+        for k in 1..=100u64 {
+            assert_eq!(t.get(k), Some(k), "key {k} after recovery");
+        }
+    }
+
+    #[test]
+    fn crash_mid_workload_recovers_consistently() {
+        pmem::crash::silence_crash_panics();
+        let pool = Pool::tracked(1 << 22);
+        let t = BzTree::create(Arc::clone(&pool), 8, 256);
+        for k in 1..=60u64 {
+            t.insert(k, k);
+        }
+        pool.mark_all_persisted();
+        pool.crash_controller().arm_after(400);
+        let _ = pmem::run_crashable(|| {
+            for k in 61..=300u64 {
+                t.insert(k, k);
+            }
+        });
+        pool.crash_controller().disarm();
+        pmem::discard_pending();
+        pool.simulate_crash();
+        drop(t);
+        let (t, _) = BzTree::open(pool);
+        for k in 1..=60u64 {
+            assert_eq!(t.get(k), Some(k), "pre-crash key {k}");
+        }
+        let _ = t.count_live();
+    }
+}

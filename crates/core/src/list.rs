@@ -1,0 +1,402 @@
+//! The `UpSkipList` handle: creation, opening, recovery, node accessors,
+//! and the allocator integration (`MakeLinkedObject`'s navigation callback).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use pmalloc::{AllocConfig, Allocator, Reachability, KIND_NODE};
+use pmem::pool::PoolConfig;
+use pmem::{CrashController, LatencyModel, PersistenceMode, Placement, Pool};
+use riv::{RivPtr, RivSpace};
+
+use crate::config::{ListConfig, KEY_INF, KEY_NULL, TOMBSTONE};
+use crate::layout::*;
+
+/// A PMEM-resident, recoverable, NUMA-aware lock-free skip list
+/// (the thesis's UPSkipList, Chapter 4).
+///
+/// All persistent state lives in the pools of the underlying
+/// [`RivSpace`]; this handle caches only immutable pointers (head/tail) and
+/// the current failure-free epoch.
+pub struct UpSkipList {
+    pub(crate) alloc: Allocator,
+    pub(crate) cfg: ListConfig,
+    pub(crate) head: RivPtr,
+    pub(crate) tail: RivPtr,
+    pub(crate) epoch: AtomicU64,
+}
+
+impl std::fmt::Debug for UpSkipList {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UpSkipList")
+            .field("cfg", &self.cfg)
+            .field("epoch", &self.epoch.load(Ordering::Relaxed))
+            .field("pools", &self.space().pools().len())
+            .finish()
+    }
+}
+
+/// Builder for a complete simulated deployment: pools, allocator, list.
+#[derive(Debug, Clone)]
+pub struct ListBuilder {
+    pub list: ListConfig,
+    /// Pools to create (1 = single pool; >1 = one per NUMA node, §4.3.1).
+    pub num_pools: u16,
+    /// Words per pool.
+    pub pool_words: u64,
+    /// Stripe a single pool across this many NUMA nodes (Fig 5.4's
+    /// "striped device"); ignored when `num_pools > 1`.
+    pub striped_nodes: u16,
+    pub mode: PersistenceMode,
+    pub latency: LatencyModel,
+    /// Random write-back probability denominator (0 = off).
+    pub evict_one_in: u32,
+    /// Free lists per pool.
+    pub num_arenas: usize,
+    /// Blocks carved per chunk (the thesis uses 4 MiB chunks).
+    pub blocks_per_chunk: u64,
+    /// Maintain per-pool stats counters (off for throughput benchmarks —
+    /// they are shared atomics).
+    pub collect_stats: bool,
+}
+
+impl Default for ListBuilder {
+    fn default() -> Self {
+        Self {
+            list: ListConfig::default(),
+            num_pools: 1,
+            pool_words: 1 << 22, // 32 MiB
+            striped_nodes: 1,
+            mode: PersistenceMode::Fast,
+            latency: LatencyModel::default(),
+            evict_one_in: 0,
+            num_arenas: 4,
+            blocks_per_chunk: 64,
+            collect_stats: true,
+        }
+    }
+}
+
+impl ListBuilder {
+    /// Words per block: one node of maximal height, rounded to cache lines.
+    fn block_words(&self) -> u64 {
+        node_words(&self.list).div_ceil(pmem::CACHE_LINE_WORDS) * pmem::CACHE_LINE_WORDS
+    }
+
+    fn alloc_config(&self) -> AllocConfig {
+        AllocConfig {
+            block_words: self.block_words(),
+            blocks_per_chunk: self.blocks_per_chunk,
+            num_arenas: self.num_arenas,
+            max_chunks: u16::MAX,
+            root_words: ROOT_WORDS,
+        }
+    }
+
+    /// Create pools, format the allocator, and initialize a fresh list.
+    pub fn create(&self) -> Arc<UpSkipList> {
+        let acfg = self.alloc_config();
+        let layout = pmalloc::PoolLayout::for_config(&acfg);
+        let crash = Arc::new(CrashController::new());
+        let pools: Vec<Arc<Pool>> = (0..self.num_pools)
+            .map(|id| {
+                let placement = if self.num_pools > 1 {
+                    Placement::Node(id)
+                } else if self.striped_nodes > 1 {
+                    Placement::Striped {
+                        nodes: self.striped_nodes,
+                        stripe_words: 1 << 18,
+                    }
+                } else {
+                    Placement::Node(0)
+                };
+                Pool::new(
+                    PoolConfig {
+                        id,
+                        len_words: self.pool_words,
+                        placement,
+                        mode: self.mode,
+                        latency: self.latency,
+                        evict_one_in: self.evict_one_in,
+                        collect_stats: self.collect_stats,
+                    },
+                    Arc::clone(&crash),
+                )
+            })
+            .collect();
+        let space = Arc::new(RivSpace::new(
+            pools,
+            layout.chunk_table_off,
+            acfg.max_chunks,
+        ));
+        let alloc = Allocator::new(space, acfg);
+        UpSkipList::create(alloc, self.list)
+    }
+}
+
+impl UpSkipList {
+    /// Format pools (already wrapped in an allocator) into a fresh list.
+    pub fn create(alloc: Allocator, cfg: ListConfig) -> Arc<Self> {
+        assert!(
+            node_words(&cfg) <= alloc.config().block_words,
+            "blocks too small for configured nodes: need {} words",
+            node_words(&cfg)
+        );
+        let epoch = 1u64;
+        alloc.format(epoch);
+        let pool0 = Arc::clone(alloc.space().pool(0));
+        let list = Arc::new(Self {
+            alloc,
+            cfg,
+            head: RivPtr::NULL,
+            tail: RivPtr::NULL,
+            epoch: AtomicU64::new(epoch),
+        });
+        // Sentinels (§4.2). The tail is created first so the head can link
+        // to it at every level.
+        let tail = list.alloc_block(RivPtr::NULL, KEY_INF);
+        list.init_sentinel(tail, KEY_INF);
+        let head = list.alloc_block(RivPtr::NULL, KEY_NULL);
+        list.init_sentinel(head, KEY_NULL);
+        for level in 0..cfg.max_height {
+            list.space()
+                .write(head.add(next_off_cfg(&cfg, level) as u32), tail.raw());
+        }
+        list.space().persist(head, node_words(&cfg));
+        list.space().persist(tail, node_words(&cfg));
+        pool0.write(ROOT_EPOCH, epoch);
+        pool0.write(ROOT_CLEAN, 0);
+        pool0.write(ROOT_CONFIG, cfg.pack());
+        pool0.write(ROOT_HEAD, head.raw());
+        pool0.write(ROOT_TAIL, tail.raw());
+        pool0.write(ROOT_MAGIC, ROOT_MAGIC_VALUE);
+        pool0.persist(ROOT_MAGIC, ROOT_WORDS);
+        // `Arc::get_mut` is unavailable once cloned; rebuild with pointers.
+        let mut inner = Arc::try_unwrap(list).expect("no clones yet");
+        inner.head = head;
+        inner.tail = tail;
+        Arc::new(inner)
+    }
+
+    /// Reconnect to a formatted deployment: read the root, start a new
+    /// failure-free epoch, and resume — recovery work is deferred into
+    /// normal operation (§4.1.5), so this is O(pools).
+    pub fn open(alloc: Allocator) -> Arc<Self> {
+        let pool0 = Arc::clone(alloc.space().pool(0));
+        assert_eq!(
+            pool0.read(ROOT_MAGIC),
+            ROOT_MAGIC_VALUE,
+            "pool 0 holds no UPSkipList root"
+        );
+        alloc.space().invalidate_caches();
+        let cfg = ListConfig::unpack(pool0.read(ROOT_CONFIG));
+        let epoch = pool0.read(ROOT_EPOCH) + 1;
+        pool0.write(ROOT_EPOCH, epoch);
+        pool0.write(ROOT_CLEAN, 0);
+        pool0.persist(ROOT_EPOCH, 2);
+        Arc::new(Self {
+            head: RivPtr::from_raw(pool0.read(ROOT_HEAD)),
+            tail: RivPtr::from_raw(pool0.read(ROOT_TAIL)),
+            alloc,
+            cfg,
+            epoch: AtomicU64::new(epoch),
+        })
+    }
+
+    /// In-place post-crash recovery on an existing handle (used by crash
+    /// tests, where the pools object survives the simulated power cycle):
+    /// drop DRAM caches and begin a new epoch.
+    pub fn recover(&self) {
+        self.space().invalidate_caches();
+        let pool0 = self.space().pool(0);
+        let epoch = pool0.read(ROOT_EPOCH) + 1;
+        pool0.write(ROOT_EPOCH, epoch);
+        pool0.write(ROOT_CLEAN, 0);
+        let pool0 = Arc::clone(pool0);
+        pool0.persist(ROOT_EPOCH, 2);
+        self.epoch.store(epoch, Ordering::SeqCst);
+    }
+
+    /// Mark a clean shutdown (flushes everything in tracked pools).
+    pub fn close(&self) {
+        let pool0 = Arc::clone(self.space().pool(0));
+        pool0.write(ROOT_CLEAN, 1);
+        pool0.persist(ROOT_CLEAN, 1);
+        for pool in self.space().pools() {
+            pool.mark_all_persisted();
+        }
+    }
+
+    #[inline]
+    pub fn space(&self) -> &Arc<RivSpace> {
+        self.alloc.space()
+    }
+
+    #[inline]
+    pub fn allocator(&self) -> &Allocator {
+        &self.alloc
+    }
+
+    #[inline]
+    pub fn config(&self) -> &ListConfig {
+        &self.cfg
+    }
+
+    /// The current failure-free epoch.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    #[inline]
+    pub fn head(&self) -> RivPtr {
+        self.head
+    }
+
+    #[inline]
+    pub fn tail(&self) -> RivPtr {
+        self.tail
+    }
+
+    /// The pool a thread allocates from: its NUMA node's pool in multi-pool
+    /// mode, pool 0 otherwise.
+    #[inline]
+    pub(crate) fn local_pool(&self) -> u16 {
+        let node = pmem::thread::current().numa_node;
+        if (node as usize) < self.space().pools().len() {
+            node
+        } else {
+            0
+        }
+    }
+
+    // ---- node field accessors ----
+
+    #[inline]
+    pub(crate) fn node_epoch(&self, node: RivPtr) -> u64 {
+        self.space().read(node.add(N_EPOCH as u32))
+    }
+
+    #[inline]
+    pub(crate) fn height(&self, node: RivPtr) -> usize {
+        self.space().read(node.add(N_HEIGHT as u32)) as usize
+    }
+
+    #[inline]
+    pub(crate) fn split_count(&self, node: RivPtr) -> u64 {
+        self.space().read(node.add(N_SPLIT_COUNT as u32))
+    }
+
+    #[inline]
+    pub(crate) fn next(&self, node: RivPtr, level: usize) -> RivPtr {
+        RivPtr::from_raw(
+            self.space()
+                .read(node.add(next_off_cfg(&self.cfg, level) as u32)),
+        )
+    }
+
+    /// keys[0]; immutable after node initialization (head: 0, tail: +∞).
+    #[inline]
+    pub(crate) fn key0(&self, node: RivPtr) -> u64 {
+        if node == self.head {
+            return KEY_NULL;
+        }
+        self.space().read(node.add(key_off(&self.cfg, 0) as u32))
+    }
+
+    #[inline]
+    pub(crate) fn key_at(&self, node: RivPtr, i: usize) -> u64 {
+        self.space().read(node.add(key_off(&self.cfg, i) as u32))
+    }
+
+    #[inline]
+    pub(crate) fn val_at(&self, node: RivPtr, i: usize) -> u64 {
+        self.space().read(node.add(val_off(&self.cfg, i) as u32))
+    }
+
+    /// Allocate a block for a new node (the pop half of Function 4's
+    /// `MakeLinkedObject`; initialization is the caller's job).
+    pub(crate) fn alloc_block(&self, pred: RivPtr, first_key: u64) -> RivPtr {
+        self.alloc
+            .alloc(self.epoch(), self.local_pool(), pred, first_key, self)
+    }
+
+    /// Initialize a freshly popped block as a node holding `kvs` (remaining
+    /// slots empty/tombstoned). Not persisted; callers persist once after
+    /// populating next pointers (§4.5 "a single flush", line 246).
+    pub(crate) fn init_node(&self, block: RivPtr, height: usize, kvs: &[(u64, u64)]) {
+        debug_assert!(height >= 1 && height <= self.cfg.max_height);
+        debug_assert!(kvs.len() <= self.cfg.keys_per_node);
+        debug_assert!(
+            kvs.windows(2).all(|w| w[0].0 < w[1].0),
+            "initial keys must be sorted: the sorted base region depends on it"
+        );
+        let sp = self.space();
+        sp.write(block.add(N_LOCK as u32), 0);
+        sp.write(block.add(N_HEIGHT as u32), height as u64);
+        sp.write(block.add(N_SPLIT_COUNT as u32), 0);
+        sp.write(block.add(N_SORTED as u32), kvs.len() as u64);
+        for i in 0..self.cfg.keys_per_node {
+            let (k, v) = kvs.get(i).copied().unwrap_or((KEY_NULL, TOMBSTONE));
+            sp.write(block.add(key_off(&self.cfg, i) as u32), k);
+            sp.write(block.add(val_off(&self.cfg, i) as u32), v);
+        }
+        sp.write(block.add(N_KIND as u32), KIND_NODE);
+    }
+
+    fn init_sentinel(&self, block: RivPtr, key0: u64) {
+        let sp = self.space();
+        self.init_node(block, self.cfg.max_height, &[]);
+        sp.write(block.add(key_off(&self.cfg, 0) as u32), key0);
+        for level in 0..self.cfg.max_height {
+            sp.write(block.add(next_off_cfg(&self.cfg, level) as u32), 0);
+        }
+    }
+
+    /// Sample a tower height from the geometric distribution with p = 1/2
+    /// (§2.3.2), capped at the configured maximum.
+    pub(crate) fn random_height(&self) -> usize {
+        use rand::Rng;
+        let mut h = 1;
+        let mut rng = rand::thread_rng();
+        while h < self.cfg.max_height && rng.gen::<bool>() {
+            h += 1;
+        }
+        h
+    }
+}
+
+/// Navigation callback for stale allocation logs (Function 3 lines 15–22):
+/// walk the bottom level from the logged predecessor and decide whether the
+/// logged block completed its link-in.
+impl Reachability for UpSkipList {
+    fn is_reachable(&self, pred: RivPtr, key: u64, block: RivPtr) -> bool {
+        let start = if pred.is_null() || self.space().read(pred.add(N_KIND as u32)) != KIND_NODE {
+            self.head
+        } else {
+            pred
+        };
+        let mut cur = start;
+        let mut steps = 0u64;
+        loop {
+            if cur == block && self.key0(cur) == key {
+                return true;
+            }
+            if cur == self.tail || self.key0(cur) > key {
+                return false;
+            }
+            cur = self.next(cur, 0);
+            if cur.is_null() {
+                return false;
+            }
+            steps += 1;
+            if steps > 100_000_000 {
+                panic!("is_reachable: bottom level does not terminate");
+            }
+        }
+    }
+
+    fn node_first_key(&self, block: RivPtr) -> u64 {
+        self.key0(block)
+    }
+}

@@ -1,0 +1,485 @@
+//! Mutating operations (Functions 13–20, §4.5–4.6) and the public API.
+#![allow(clippy::needless_range_loop)] // level loops mirror the thesis pseudocode
+
+use std::collections::HashSet;
+
+use riv::RivPtr;
+
+use crate::config::{KEY_NULL, MAX_HEIGHT, MAX_USER_KEY, MIN_USER_KEY, TOMBSTONE};
+use crate::layout::{key_off, next_off_cfg, node_words, val_off, N_SPLIT_COUNT};
+use crate::list::UpSkipList;
+use crate::rwlock;
+
+/// Outcome of an attempt to place a key into an existing node.
+enum InsertStatus {
+    /// The world moved (lock contention or a split); restart from traversal.
+    Restart,
+    /// The node is full; split it (or, for single-key nodes, create a
+    /// successor node).
+    NeedSplit,
+    /// Placed; carries the previous raw value (tombstone = fresh insert).
+    Done(u64),
+}
+
+impl UpSkipList {
+    /// Insert or update (`Insert` is an upsert, Function 13). Returns the
+    /// previous value if the key was present and live.
+    ///
+    /// ```
+    /// let list = upskiplist::ListBuilder::default().create();
+    /// assert_eq!(list.insert(1, 10), None);       // fresh insert
+    /// assert_eq!(list.insert(1, 11), Some(10));   // update
+    /// ```
+    ///
+    /// # Panics
+    /// Panics if `key` is outside `1..=u64::MAX-2` or `value == u64::MAX`
+    /// (reserved encodings; see [`crate::config`]).
+    pub fn insert(&self, key: u64, value: u64) -> Option<u64> {
+        assert!(
+            (MIN_USER_KEY..=MAX_USER_KEY).contains(&key),
+            "key {key} reserved"
+        );
+        assert!(value != TOMBSTONE, "value {value} reserved (tombstone)");
+        loop {
+            let t = self.traverse(key);
+            if t.found() {
+                let node = t.node();
+                if !self.ensure_current_epoch(node) {
+                    continue; // another thread is repairing the node
+                }
+                if !rwlock::try_read_lock(self.space(), node) {
+                    continue;
+                }
+                if self.split_count(node) != t.split_count {
+                    rwlock::read_unlock(self.space(), node);
+                    continue;
+                }
+                let old = self.update(node, t.key_index, value);
+                rwlock::read_unlock(self.space(), node);
+                return (old != TOMBSTONE).then_some(old);
+            }
+            let pred = t.preds[0];
+            if pred == self.head || self.cfg.keys_per_node == 1 {
+                // No node can hold the key (the head stores none, and
+                // single-key nodes cannot make room): link a fresh node
+                // (Function 15, generalized from head-successor to
+                // any-predecessor for the single-key configuration).
+                let mut preds = t.preds;
+                let mut succs = t.succs;
+                if self.create_successor(key, value, &mut preds, &mut succs) {
+                    return None;
+                }
+                continue;
+            }
+            match self.insert_into_existing(key, value, &t.preds, t.split_count) {
+                InsertStatus::Restart => continue,
+                InsertStatus::Done(old) => return (old != TOMBSTONE).then_some(old),
+                InsertStatus::NeedSplit => {
+                    let mut preds = t.preds;
+                    let mut succs = t.succs;
+                    self.split_node(&mut preds, &mut succs);
+                    continue;
+                }
+            }
+        }
+    }
+
+    /// Linearizable lookup.
+    pub fn get(&self, key: u64) -> Option<u64> {
+        assert!(
+            (MIN_USER_KEY..=MAX_USER_KEY).contains(&key),
+            "key {key} reserved"
+        );
+        self.search_raw(key).filter(|&v| v != TOMBSTONE)
+    }
+
+    /// True when the key is present and live.
+    pub fn contains(&self, key: u64) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Remove a key by tombstoning its value (§4.6). Returns the removed
+    /// value, or `None` if the key was absent.
+    pub fn remove(&self, key: u64) -> Option<u64> {
+        assert!(
+            (MIN_USER_KEY..=MAX_USER_KEY).contains(&key),
+            "key {key} reserved"
+        );
+        loop {
+            let t = self.traverse(key);
+            if !t.found() {
+                // Validate the absent outcome as in Function 9's extension
+                // (see `search_raw`): a concurrent split may have moved the
+                // key out of the node that was scanned.
+                let pred0 = t.preds[0];
+                if pred0 != self.head {
+                    if rwlock::is_write_locked(rwlock::load(self.space(), pred0)) {
+                        continue;
+                    }
+                    if self.split_count(pred0) != t.split_count {
+                        continue;
+                    }
+                }
+                return None;
+            }
+            let node = t.node();
+            if !self.ensure_current_epoch(node) {
+                continue;
+            }
+            if !rwlock::try_read_lock(self.space(), node) {
+                continue;
+            }
+            if self.split_count(node) != t.split_count {
+                rwlock::read_unlock(self.space(), node);
+                continue;
+            }
+            let old = self.update(node, t.key_index, TOMBSTONE);
+            rwlock::read_unlock(self.space(), node);
+            return (old != TOMBSTONE).then_some(old);
+        }
+    }
+
+    /// Collect all live pairs with keys in `[lo, hi]`, ascending.
+    ///
+    /// ```
+    /// let list = upskiplist::ListBuilder::default().create();
+    /// for k in 1..=10u64 { list.insert(k, k * k); }
+    /// list.remove(5);
+    /// assert_eq!(list.range(4, 6), vec![(4, 16), (6, 36)]);
+    /// ```
+    ///
+    /// Per-node reads are validated with the split counter, but the scan is
+    /// not linearizable as a whole — the thesis leaves linearizable range
+    /// queries as future work (Chapter 7); this is the practical extension.
+    pub fn range(&self, lo: u64, hi: u64) -> Vec<(u64, u64)> {
+        assert!(lo <= hi);
+        let mut out = Vec::new();
+        let t = self.traverse(lo.max(MIN_USER_KEY));
+        let mut node = if t.preds[0] != self.head && !t.preds[0].is_null() {
+            t.preds[0]
+        } else {
+            self.next(self.head, 0)
+        };
+        while node != self.tail && self.key0(node) <= hi {
+            // Per-node snapshot with validation (as in Function 9).
+            loop {
+                if rwlock::is_write_locked(rwlock::load(self.space(), node)) {
+                    std::hint::spin_loop();
+                    continue;
+                }
+                let sc = self.split_count(node);
+                let kpn = self.cfg.keys_per_node;
+                let mut keys = vec![0u64; kpn];
+                let mut vals = vec![0u64; kpn];
+                self.space()
+                    .read_slice(node.add(key_off(&self.cfg, 0) as u32), &mut keys);
+                self.space()
+                    .read_slice(node.add(val_off(&self.cfg, 0) as u32), &mut vals);
+                let mut pairs = Vec::new();
+                for i in 0..kpn {
+                    let (k, v) = (keys[i], vals[i]);
+                    if k != KEY_NULL && k >= lo && k <= hi && v != TOMBSTONE {
+                        pairs.push((k, v));
+                    }
+                }
+                if self.split_count(node) == sc
+                    && !rwlock::is_write_locked(rwlock::load(self.space(), node))
+                {
+                    out.extend(pairs);
+                    break;
+                }
+            }
+            node = self.next(node, 0);
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Count live keys (diagnostic; quiescent use only).
+    pub fn count_live(&self) -> usize {
+        let mut n = 0;
+        let mut node = self.next(self.head, 0);
+        while node != self.tail {
+            for i in 0..self.cfg.keys_per_node {
+                if self.key_at(node, i) != KEY_NULL && self.val_at(node, i) != TOMBSTONE {
+                    n += 1;
+                }
+            }
+            node = self.next(node, 0);
+        }
+        n
+    }
+
+    /// Function 14: total-order value update via CAS; the persist of the
+    /// new value is the operation's linearization point (§4.5).
+    pub(crate) fn update(&self, node: RivPtr, key_index: usize, value: u64) -> u64 {
+        let slot = node.add(val_off(&self.cfg, key_index) as u32);
+        loop {
+            let old = self.space().read(slot);
+            if self.space().cas(slot, old, value).is_ok() {
+                self.space().persist(slot, 1);
+                return old;
+            }
+        }
+    }
+
+    /// Function 15, generalized: allocate and link a brand-new node holding
+    /// `(key, value)` after `preds[0]`.
+    fn create_successor(
+        &self,
+        key: u64,
+        value: u64,
+        preds: &mut [RivPtr; MAX_HEIGHT],
+        succs: &mut [RivPtr; MAX_HEIGHT],
+    ) -> bool {
+        let height = self.random_height();
+        let pred = preds[0];
+        let succ0 = succs[0];
+        let block = self.alloc_block(pred, key);
+        self.init_node(block, height, &[(key, value)]);
+        self.populate_next_pointers(succs, block, height);
+        // The node is unreachable until the link CAS, so one fence persists
+        // everything (§4.5 "the order of persistence does not matter").
+        self.space().persist(block, node_words(&self.cfg));
+        if self
+            .space()
+            .cas(
+                pred.add(next_off_cfg(&self.cfg, 0) as u32),
+                succ0.raw(),
+                block.raw(),
+            )
+            .is_err()
+        {
+            // Lost the race; return the block (Function 15 line 194).
+            self.alloc.free(self.epoch(), self.local_pool(), block);
+            return false;
+        }
+        self.space()
+            .persist(pred.add(next_off_cfg(&self.cfg, 0) as u32), 1);
+        self.link_higher_levels(preds, succs, block, 1, height);
+        true
+    }
+
+    /// Function 16: place the key into the node that must contain it,
+    /// claiming an empty slot with a CAS under the read lock.
+    fn insert_into_existing(
+        &self,
+        key: u64,
+        value: u64,
+        preds: &[RivPtr; MAX_HEIGHT],
+        expected_split_count: u64,
+    ) -> InsertStatus {
+        let node = preds[0];
+        if !self.ensure_current_epoch(node) {
+            return InsertStatus::Restart;
+        }
+        if !rwlock::try_read_lock(self.space(), node) {
+            return InsertStatus::Restart;
+        }
+        if self.split_count(node) != expected_split_count {
+            rwlock::read_unlock(self.space(), node);
+            return InsertStatus::Restart;
+        }
+        // Stream the key array once; slots claimed concurrently are
+        // re-validated by the CAS below.
+        let kpn = self.cfg.keys_per_node;
+        let mut snapshot = vec![0u64; kpn];
+        self.space()
+            .read_slice(node.add(key_off(&self.cfg, 0) as u32), &mut snapshot);
+        // With sorted lookups, slots inside the sorted base region are
+        // never re-claimed (a claim there would break the binary search's
+        // ordering assumption); holes punched by splits are reclaimed when
+        // the node next splits.
+        let claim_start = if self.cfg.sorted_lookups {
+            (self.space().read(node.add(crate::layout::N_SORTED as u32)) as usize).min(kpn)
+        } else {
+            0
+        };
+        for i in 0..kpn {
+            let slot = node.add(key_off(&self.cfg, i) as u32);
+            let k = snapshot[i];
+            if k == key {
+                // Another thread inserted it first; fall back to updating.
+                let old = self.update(node, i, value);
+                rwlock::read_unlock(self.space(), node);
+                return InsertStatus::Done(old);
+            }
+            if k == KEY_NULL && i >= claim_start {
+                if self.space().cas(slot, KEY_NULL, key).is_ok() {
+                    self.space().persist(slot, 1);
+                    let old = self.update(node, i, value);
+                    rwlock::read_unlock(self.space(), node);
+                    return InsertStatus::Done(old);
+                }
+                // Failed to claim: if the winner inserted our key, update.
+                if self.space().read(slot) == key {
+                    let old = self.update(node, i, value);
+                    rwlock::read_unlock(self.space(), node);
+                    return InsertStatus::Done(old);
+                }
+            }
+        }
+        rwlock::read_unlock(self.space(), node);
+        InsertStatus::NeedSplit
+    }
+
+    /// Function 17: swing predecessors' next pointers level by level, from
+    /// the bottom up, persisting each level before the next — the order
+    /// matters for recovery (§4.5).
+    pub(crate) fn link_higher_levels(
+        &self,
+        preds: &mut [RivPtr; MAX_HEIGHT],
+        succs: &mut [RivPtr; MAX_HEIGHT],
+        node: RivPtr,
+        starting_level: usize,
+        height: usize,
+    ) {
+        for level in starting_level..height {
+            loop {
+                let pred_l = preds[level];
+                if pred_l == node {
+                    break; // traversal stepped into the node: already linked
+                }
+                let expected = self.next(node, level);
+                if self
+                    .space()
+                    .cas(
+                        pred_l.add(next_off_cfg(&self.cfg, level) as u32),
+                        expected.raw(),
+                        node.raw(),
+                    )
+                    .is_ok()
+                {
+                    self.space()
+                        .persist(pred_l.add(next_off_cfg(&self.cfg, level) as u32), 1);
+                    break;
+                }
+                // The neighborhood changed: re-traverse for the node's own
+                // key and refresh its upper next pointers (lines 235–237).
+                let t = self.traverse(self.key0(node));
+                debug_assert!(t.found(), "node vanished while building its tower");
+                *preds = t.preds;
+                *succs = t.succs;
+                if t.found() && t.level_found >= level {
+                    break; // already visible at this level
+                }
+                self.populate_levels(succs, node, level, height);
+            }
+        }
+    }
+
+    /// Function 18: point `node.next[starting_level..height]` at the fresh
+    /// successors, then persist them with one fence.
+    fn populate_levels(
+        &self,
+        succs: &[RivPtr; MAX_HEIGHT],
+        node: RivPtr,
+        starting_level: usize,
+        height: usize,
+    ) {
+        for level in starting_level..height {
+            self.space().write(
+                node.add(next_off_cfg(&self.cfg, level) as u32),
+                succs[level].raw(),
+            );
+        }
+        self.space().persist(
+            node.add(next_off_cfg(&self.cfg, starting_level) as u32),
+            (height - starting_level) as u64,
+        );
+    }
+
+    /// Function 19: populate every level of a new node's next pointers.
+    fn populate_next_pointers(&self, succs: &[RivPtr; MAX_HEIGHT], node: RivPtr, height: usize) {
+        for level in 0..height {
+            self.space().write(
+                node.add(next_off_cfg(&self.cfg, level) as u32),
+                succs[level].raw(),
+            );
+        }
+    }
+
+    /// Function 20: split a full node, moving the sorted upper half
+    /// (median included) into a new successor node.
+    fn split_node(&self, preds: &mut [RivPtr; MAX_HEIGHT], succs: &mut [RivPtr; MAX_HEIGHT]) {
+        let node = preds[0];
+        if !self.ensure_current_epoch(node) {
+            return; // claimed by a recovering thread; the caller restarts
+        }
+        if !rwlock::try_write_lock(self.space(), node) {
+            return; // someone else is progressing; the caller restarts
+        }
+        // Persist the lock before any split effect can become durable:
+        // recovery detects an interrupted split *by* the stale write lock
+        // (Function 11), so a crash after the link CAS must find the node
+        // locked in the persisted image.
+        self.space()
+            .persist(node.add(crate::layout::N_LOCK as u32), 1);
+        // Contents are frozen under the write lock; stream them out.
+        let kpn = self.cfg.keys_per_node;
+        let mut keys = vec![0u64; kpn];
+        let mut vals = vec![0u64; kpn];
+        self.space()
+            .read_slice(node.add(key_off(&self.cfg, 0) as u32), &mut keys);
+        self.space()
+            .read_slice(node.add(val_off(&self.cfg, 0) as u32), &mut vals);
+        let mut pairs: Vec<(u64, u64)> = keys
+            .iter()
+            .zip(&vals)
+            .filter(|&(&k, _)| k != KEY_NULL)
+            .map(|(&k, &v)| (k, v))
+            .collect();
+        if pairs.len() < 2 {
+            rwlock::write_unlock(self.space(), node);
+            return;
+        }
+        pairs.sort_unstable();
+        let moved = pairs.split_off(pairs.len() / 2);
+        let median = moved[0].0;
+        let new_height = self.random_height();
+        let block = self.alloc_block(node, median);
+        // The new node keeps its keys sorted (a property BzTree exploits
+        // for binary search; ours enables the sorted-nodes ablation).
+        self.init_node(block, new_height, &moved);
+        self.populate_next_pointers(succs, block, new_height);
+        // The bottom link must take over the split node's current successor
+        // (stable while we hold the write lock, but read it exactly once so
+        // the link CAS and the new node's pointer agree).
+        let succ0 = self.next(node, 0);
+        self.space()
+            .write(block.add(next_off_cfg(&self.cfg, 0) as u32), succ0.raw());
+        self.space().persist(block, node_words(&self.cfg));
+        if self
+            .space()
+            .cas(
+                node.add(next_off_cfg(&self.cfg, 0) as u32),
+                succ0.raw(),
+                block.raw(),
+            )
+            .is_err()
+        {
+            self.alloc.free(self.epoch(), self.local_pool(), block);
+            rwlock::write_unlock(self.space(), node);
+            return;
+        }
+        self.space()
+            .persist(node.add(next_off_cfg(&self.cfg, 0) as u32), 1);
+        self.space().fetch_add(node.add(N_SPLIT_COUNT as u32), 1);
+        self.space().persist(node.add(N_SPLIT_COUNT as u32), 1);
+        // Erase the moved pairs from the old node (lines 265–267).
+        let moved_keys: HashSet<u64> = moved.iter().map(|&(k, _)| k).collect();
+        for i in 0..self.cfg.keys_per_node {
+            let k = self.key_at(node, i);
+            if k != KEY_NULL && moved_keys.contains(&k) {
+                self.space()
+                    .write(node.add(key_off(&self.cfg, i) as u32), KEY_NULL);
+                self.space()
+                    .write(node.add(val_off(&self.cfg, i) as u32), TOMBSTONE);
+            }
+        }
+        self.space().persist(node, node_words(&self.cfg));
+        rwlock::write_unlock(self.space(), node);
+        // Build the new node's tower (lines 269–270).
+        self.complete_tower(block);
+    }
+}

@@ -1,0 +1,167 @@
+//! The per-node split lock (§4.2, §4.5).
+//!
+//! A single word: bit 63 is the writer bit, the low 32 bits count readers.
+//! Both acquisitions are *try* operations — a thread that fails restarts its
+//! operation instead of waiting, which is how insertions and updates remain
+//! deadlock-free (§4.1). Readers (updates and slot claims) exclude the
+//! writer (a node split); the writer requires zero readers.
+//!
+//! After a crash the lock word may hold stale state from the dead epoch.
+//! [`drain_readers`] resets a stale reader count with a CAS from the exact
+//! observed value — using a blind store here was one of the two bugs the
+//! thesis's linearizability analyzer caught (§6.3).
+
+use riv::{RivPtr, RivSpace};
+
+use crate::layout::N_LOCK;
+
+/// Writer bit.
+pub const WRITE_BIT: u64 = 1 << 63;
+/// Mask of the reader count.
+pub const READER_MASK: u64 = 0xffff_ffff;
+
+#[inline]
+fn lock_word(ptr: RivPtr) -> RivPtr {
+    ptr.add(N_LOCK as u32)
+}
+
+/// Current raw lock value.
+#[inline]
+pub fn load(space: &RivSpace, node: RivPtr) -> u64 {
+    space.read(lock_word(node))
+}
+
+#[inline]
+pub fn is_write_locked(v: u64) -> bool {
+    v & WRITE_BIT != 0
+}
+
+#[inline]
+pub fn reader_count(v: u64) -> u64 {
+    v & READER_MASK
+}
+
+/// Try to acquire a read lock. Fails immediately if a writer holds the
+/// lock (Function 16 line 200).
+pub fn try_read_lock(space: &RivSpace, node: RivPtr) -> bool {
+    let w = lock_word(node);
+    loop {
+        let v = space.read(w);
+        if is_write_locked(v) {
+            return false;
+        }
+        if space.cas(w, v, v + 1).is_ok() {
+            return true;
+        }
+    }
+}
+
+/// Release a read lock.
+pub fn read_unlock(space: &RivSpace, node: RivPtr) {
+    let w = lock_word(node);
+    loop {
+        let v = space.read(w);
+        debug_assert!(reader_count(v) > 0, "read_unlock without a read lock");
+        if space.cas(w, v, v - 1).is_ok() {
+            return;
+        }
+    }
+}
+
+/// Try to acquire the write lock. Succeeds only when there are no readers
+/// and no writer (Function 20 line 250).
+pub fn try_write_lock(space: &RivSpace, node: RivPtr) -> bool {
+    space.cas(lock_word(node), 0, WRITE_BIT).is_ok()
+}
+
+/// Release the write lock.
+pub fn write_unlock(space: &RivSpace, node: RivPtr) {
+    let w = lock_word(node);
+    let r = space.cas(w, WRITE_BIT, 0);
+    debug_assert!(r.is_ok(), "write_unlock without the write lock");
+    let _ = r;
+}
+
+/// Recovery: clear a reader count left over by threads that died in a
+/// previous epoch, preserving the writer bit (an interrupted split is
+/// completed separately by `CheckForNodeSplitRecovery`). The CAS from the
+/// exact `observed` value means a racing recoverer or fresh readers make
+/// this a no-op rather than corrupting the count (Function 10 line 122).
+pub fn drain_readers(space: &RivSpace, node: RivPtr, observed: u64) {
+    if reader_count(observed) == 0 {
+        return;
+    }
+    let _ = space.cas(lock_word(node), observed, observed & WRITE_BIT);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmalloc::{AllocConfig, PoolLayout};
+    use pmem::Pool;
+
+    fn space_with_node() -> (RivSpace, RivPtr) {
+        let cfg = AllocConfig::small();
+        let layout = PoolLayout::for_config(&cfg);
+        let pool = Pool::simple(1 << 14);
+        let sp = RivSpace::new(vec![pool], layout.chunk_table_off, cfg.max_chunks);
+        sp.register_chunk(0, 1, 4096);
+        (sp, RivPtr::new(0, 1, 0))
+    }
+
+    #[test]
+    fn readers_stack_and_unstack() {
+        let (sp, n) = space_with_node();
+        assert!(try_read_lock(&sp, n));
+        assert!(try_read_lock(&sp, n));
+        assert_eq!(reader_count(load(&sp, n)), 2);
+        read_unlock(&sp, n);
+        read_unlock(&sp, n);
+        assert_eq!(load(&sp, n), 0);
+    }
+
+    #[test]
+    fn writer_excludes_readers_and_vice_versa() {
+        let (sp, n) = space_with_node();
+        assert!(try_write_lock(&sp, n));
+        assert!(!try_read_lock(&sp, n));
+        assert!(!try_write_lock(&sp, n));
+        write_unlock(&sp, n);
+        assert!(try_read_lock(&sp, n));
+        assert!(!try_write_lock(&sp, n), "readers must exclude the writer");
+        read_unlock(&sp, n);
+        assert!(try_write_lock(&sp, n));
+    }
+
+    #[test]
+    fn drain_readers_resets_stale_count() {
+        let (sp, n) = space_with_node();
+        assert!(try_read_lock(&sp, n));
+        assert!(try_read_lock(&sp, n));
+        let v = load(&sp, n);
+        drain_readers(&sp, n, v);
+        assert_eq!(load(&sp, n), 0);
+    }
+
+    #[test]
+    fn drain_readers_is_noop_when_state_moved() {
+        let (sp, n) = space_with_node();
+        assert!(try_read_lock(&sp, n));
+        let observed = load(&sp, n);
+        // A new-epoch reader arrives before the drain.
+        assert!(try_read_lock(&sp, n));
+        drain_readers(&sp, n, observed);
+        assert_eq!(reader_count(load(&sp, n)), 2, "drain must CAS, not store");
+    }
+
+    #[test]
+    fn drain_preserves_writer_bit() {
+        let (sp, n) = space_with_node();
+        // Simulate a crash during a split with a stale reader count folded
+        // in (never occurs in normal operation, but recovery must cope).
+        let w = n.add(N_LOCK as u32);
+        sp.write(w, WRITE_BIT | 3);
+        drain_readers(&sp, n, WRITE_BIT | 3);
+        assert_eq!(load(&sp, n), WRITE_BIT);
+    }
+}

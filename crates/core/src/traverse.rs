@@ -1,0 +1,313 @@
+//! Skip-list traversal (Functions 7–9, §4.4).
+//!
+//! Traversals are wait-free apart from the bounded recovery work they may
+//! perform on nodes left inconsistent by a crash. Multi-key nodes keep
+//! their internal keys unordered except that `keys[0]` is the node's
+//! smallest key and is immutable after initialization, so the classic
+//! level-descent can navigate on `keys[0]` alone and treat internal keys as
+//! one extra bottom level (§4.4).
+
+use riv::RivPtr;
+
+use crate::config::{ListConfig, KEY_NULL};
+use crate::list::UpSkipList;
+use crate::{config::MAX_HEIGHT, rwlock};
+
+/// Sentinel for "key not present".
+pub(crate) const NO_INDEX: usize = usize::MAX;
+
+/// Result of a traversal: per-level predecessors/successors, plus where the
+/// key was found, if anywhere.
+pub(crate) struct Traversal {
+    pub preds: [RivPtr; MAX_HEIGHT],
+    pub succs: [RivPtr; MAX_HEIGHT],
+    /// Split count of the containing node, read *before* its keys
+    /// (validated after reads, Function 9 line 110).
+    pub split_count: u64,
+    /// Index of the key in the containing node, or [`NO_INDEX`].
+    pub key_index: usize,
+    /// Level at which the containing node was recorded.
+    pub level_found: usize,
+}
+
+impl Traversal {
+    #[inline]
+    pub fn found(&self) -> bool {
+        self.key_index != NO_INDEX
+    }
+
+    /// The node containing the key (valid only when [`Traversal::found`]).
+    #[inline]
+    pub fn node(&self) -> RivPtr {
+        self.preds[self.level_found]
+    }
+}
+
+impl UpSkipList {
+    /// Function 7. On success the *containing* node is recorded as
+    /// `preds[level_found]` (for a `keys[0]` hit the traversal steps into
+    /// the node first), so callers address one node uniformly.
+    pub(crate) fn traverse(&self, key: u64) -> Traversal {
+        let top = self.cfg.max_height - 1;
+        let mut recoveries_done = 0u32;
+        'outer: loop {
+            let epoch = self.epoch();
+            let mut preds = [RivPtr::NULL; MAX_HEIGHT];
+            let mut succs = [RivPtr::NULL; MAX_HEIGHT];
+            let mut split_count = 0u64;
+            let mut pred = self.head;
+            for level in (0..=top).rev() {
+                let mut cur = self.next(pred, level);
+                loop {
+                    debug_assert!(!cur.is_null(), "broken level {level}");
+                    // One streamed line covers epoch, lock, split count and
+                    // keys[0] — the cache-line co-location of §4.4 that makes
+                    // the recovery check free during traversal.
+                    let mut hdr = [0u64; crate::layout::HEADER_WORDS];
+                    self.space().read_slice(cur, &mut hdr);
+                    if hdr[crate::layout::N_EPOCH as usize] != epoch {
+                        if self.check_for_recovery(level, cur, &preds, &succs, recoveries_done) {
+                            recoveries_done += 1;
+                            continue 'outer;
+                        }
+                        // Claimed by another thread: proceed as with any
+                        // concurrent in-progress operation (re-read the
+                        // header so we see its repairs where possible).
+                        self.space().read_slice(cur, &mut hdr);
+                    }
+                    let cur_split_count = hdr[crate::layout::N_SPLIT_COUNT as usize];
+                    let k0 = hdr[crate::layout::N_KEYS as usize];
+                    if k0 <= key {
+                        split_count = cur_split_count;
+                        pred = cur;
+                        cur = self.next(pred, level);
+                        if k0 == key {
+                            // Stepped into the containing node.
+                            preds[level] = pred;
+                            succs[level] = cur;
+                            return Traversal {
+                                preds,
+                                succs,
+                                split_count,
+                                key_index: 0,
+                                level_found: level,
+                            };
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                preds[level] = pred;
+                succs[level] = cur;
+                if level == 0 && pred != self.head {
+                    if let Some(i) = self.scan_internal_keys(pred, key) {
+                        return Traversal {
+                            preds,
+                            succs,
+                            split_count,
+                            key_index: i,
+                            level_found: 0,
+                        };
+                    }
+                }
+            }
+            return Traversal {
+                preds,
+                succs,
+                split_count,
+                key_index: NO_INDEX,
+                level_found: 0,
+            };
+        }
+    }
+
+    /// Function 8: linear scan of the unordered internal keys (slot 0 was
+    /// already compared during the descent). The scan streams the key
+    /// array at cache-line granularity — the sequential-prefetch behaviour
+    /// the thesis counts on to make multi-key scans cheap (§4.4).
+    pub(crate) fn scan_internal_keys(&self, node: RivPtr, key: u64) -> Option<usize> {
+        let k = self.cfg.keys_per_node;
+        if k == 1 {
+            return None;
+        }
+        if self.cfg.sorted_lookups {
+            return self.scan_sorted(node, key);
+        }
+        self.scan_linear_range(node, 1, k, key)
+    }
+
+    /// Streamed linear scan of key slots `[from, to)`.
+    fn scan_linear_range(&self, node: RivPtr, from: usize, to: usize, key: u64) -> Option<usize> {
+        if from >= to {
+            return None;
+        }
+        thread_local! {
+            /// Workhorse buffer: one live scan per thread at a time.
+            static BUF: std::cell::RefCell<Vec<u64>> = const { std::cell::RefCell::new(Vec::new()) };
+        }
+        BUF.with(|b| {
+            let mut keys = b.borrow_mut();
+            keys.clear();
+            keys.resize(to - from, 0);
+            self.space().read_slice(
+                node.add(crate::layout::key_off(&self.cfg, from) as u32),
+                &mut keys,
+            );
+            keys.iter().position(|&x| x == key).map(|i| i + from)
+        })
+    }
+
+    /// Sorted-base-region lookup (the Chapter 7 future-work optimization):
+    /// binary search over the node's initial sorted keys — falling back to
+    /// a ranged linear scan if a probe hits a slot erased by a split —
+    /// then a linear scan over the unsorted claim suffix.
+    fn scan_sorted(&self, node: RivPtr, key: u64) -> Option<usize> {
+        let k = self.cfg.keys_per_node;
+        let sorted = (self.space().read(node.add(crate::layout::N_SORTED as u32)) as usize).min(k);
+        if sorted > 1 {
+            let (mut lo, mut hi) = (1usize, sorted);
+            while lo < hi {
+                let mid = (lo + hi) / 2;
+                let km = self.key_at(node, mid);
+                if km == crate::config::KEY_NULL {
+                    // A split punched a hole here; order within [lo, hi)
+                    // still holds for the survivors, but probing cannot
+                    // steer — scan the remaining window.
+                    if let Some(i) = self.scan_linear_range(node, lo, hi, key) {
+                        return Some(i);
+                    }
+                    break;
+                }
+                match km.cmp(&key) {
+                    std::cmp::Ordering::Equal => return Some(mid),
+                    std::cmp::Ordering::Less => lo = mid + 1,
+                    std::cmp::Ordering::Greater => hi = mid,
+                }
+            }
+        }
+        self.scan_linear_range(node, sorted.max(1), k, key)
+    }
+
+    /// Function 9: linearizable lookup. Returns the raw stored value (which
+    /// may be the tombstone; the public API maps that to "absent").
+    ///
+    /// Beyond the thesis's pseudocode, the *not-found* outcome is validated
+    /// too: a split can move the key out of the scanned node between the
+    /// descent and the internal scan, so "absent" is only trusted if the
+    /// scanned node's split count is unchanged and it is not mid-split —
+    /// a stale-empty-read window our linearizability analyzer caught.
+    pub(crate) fn search_raw(&self, key: u64) -> Option<u64> {
+        loop {
+            let t = self.traverse(key);
+            if !t.found() {
+                let pred0 = t.preds[0];
+                if pred0 != self.head {
+                    if rwlock::is_write_locked(rwlock::load(self.space(), pred0)) {
+                        continue; // keys may be mid-transfer
+                    }
+                    if self.split_count(pred0) != t.split_count {
+                        continue; // the scanned node split under us
+                    }
+                }
+                return None;
+            }
+            let node = t.node();
+            if rwlock::is_write_locked(rwlock::load(self.space(), node)) {
+                continue; // mid-split: the value words are unreliable
+            }
+            let value = self.val_at(node, t.key_index);
+            if self.split_count(node) != t.split_count {
+                continue; // a split moved keys under us; retry
+            }
+            return Some(value);
+        }
+    }
+
+    /// Number of nodes hosted on each pool, excluding sentinels
+    /// (diagnostic; quiescent use only). Shows the NUMA placement the
+    /// extended RIV pointers enable (§4.3.1).
+    pub fn node_distribution(&self) -> Vec<u64> {
+        let mut per_pool = vec![0u64; self.space().pools().len()];
+        let mut cur = self.next(self.head, 0);
+        while cur != self.tail {
+            per_pool[cur.pool() as usize] += 1;
+            cur = self.next(cur, 0);
+        }
+        per_pool
+    }
+
+    /// Number of nodes on the bottom level, excluding sentinels
+    /// (diagnostic; quiescent use only).
+    pub fn node_count(&self) -> usize {
+        let mut n = 0;
+        let mut cur = self.next(self.head, 0);
+        while cur != self.tail {
+            n += 1;
+            cur = self.next(cur, 0);
+        }
+        n
+    }
+
+    /// Check structural invariants (quiescent use only): bottom-level
+    /// `keys[0]` strictly ascending, internal keys within `[keys[0],
+    /// succ.keys[0])`, towers sorted per level. Panics on violation.
+    pub fn check_invariants(&self) {
+        let cfg: &ListConfig = &self.cfg;
+        // Bottom level ordering + key ranges.
+        let mut cur = self.next(self.head, 0);
+        let mut prev_k0 = 0u64;
+        while cur != self.tail {
+            let k0 = self.key0(cur);
+            assert!(k0 > prev_k0, "keys[0] not ascending: {prev_k0} then {k0}");
+            let succ = self.next(cur, 0);
+            let bound = self.key0(succ);
+            for i in 0..cfg.keys_per_node {
+                let k = self.key_at(cur, i);
+                if k != KEY_NULL {
+                    assert!(
+                        k >= k0 && k < bound,
+                        "internal key {k} outside [{k0}, {bound})"
+                    );
+                }
+            }
+            // With sorted lookups the base region must stay ascending
+            // (holes from splits excepted): those slots are never
+            // re-claimed. Plain mode reclaims holes freely, so no order
+            // holds there.
+            let sorted = if !cfg.sorted_lookups {
+                0
+            } else {
+                (self.space().read(cur.add(crate::layout::N_SORTED as u32)) as usize)
+                    .min(cfg.keys_per_node)
+            };
+            let mut prev_sorted = 0u64;
+            for i in 0..sorted {
+                let k = self.key_at(cur, i);
+                if k != KEY_NULL {
+                    assert!(
+                        k > prev_sorted,
+                        "sorted base region out of order at slot {i}"
+                    );
+                    prev_sorted = k;
+                }
+            }
+            prev_k0 = k0;
+            cur = succ;
+        }
+        // Every level sorted and a sublist of the bottom level's nodes.
+        for level in 1..cfg.max_height {
+            let mut cur = self.next(self.head, level);
+            let mut prev = 0u64;
+            while cur != self.tail {
+                let k0 = self.key0(cur);
+                assert!(k0 > prev, "level {level} not ascending");
+                assert!(
+                    self.height(cur) > level,
+                    "node {cur} linked above its height"
+                );
+                prev = k0;
+                cur = self.next(cur, level);
+            }
+        }
+    }
+}

@@ -1,0 +1,280 @@
+//! # hybridskip — a hybrid DRAM/PMEM skip list (NV-Skiplist style)
+//!
+//! The design point the thesis contrasts against (§3.2, Chen et al.'s
+//! NV-Skiplist; also FPTree/NV-Tree for B+trees): only the **bottom-level
+//! linked list** lives in persistent memory; the upper index levels live
+//! in DRAM and are **rebuilt by scanning the bottom level at recovery**.
+//!
+//! Failure-free operation is simple and fast — persistence work is one
+//! node append per insert plus one value persist per update — but recovery
+//! costs O(n), violating the thesis's practicality requirement 3
+//! (constant-time recovery, §4.1). The recovery experiment (E6) uses this
+//! structure to show that scaling directly.
+//!
+//! Concurrency: a sharded reader-writer lock over a DRAM `BTreeMap` index;
+//! this baseline exists for recovery-time comparisons, not peak
+//! throughput, and the simplicity is intentional (NV-Skiplist itself is
+//! lock-based).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use pmem::Pool;
+
+const ROOT_MAGIC: u64 = 0x4859_4252_4944_0001;
+
+const R_MAGIC: u64 = 0;
+const R_BUMP: u64 = 1;
+const R_HEAD: u64 = 2; // offset of the newest node (LIFO bottom chain)
+const ROOT_WORDS: u64 = 8;
+
+// Persistent node: [key, value, next] — level 0 only.
+const N_KEY: u64 = 0;
+const N_VALUE: u64 = 1;
+const N_NEXT: u64 = 2;
+const NODE_WORDS: u64 = 3;
+
+/// Value marking a logically deleted record.
+const DEAD: u64 = u64::MAX;
+
+/// The hybrid structure: PMEM bottom chain + volatile index.
+pub struct HybridSkipList {
+    pool: Arc<Pool>,
+    /// DRAM index: key → node offset. Sharded by key hash.
+    index: Box<[RwLock<BTreeMap<u64, u64>>]>,
+}
+
+const SHARDS: usize = 64;
+
+impl std::fmt::Debug for HybridSkipList {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HybridSkipList").finish()
+    }
+}
+
+impl HybridSkipList {
+    fn empty(pool: Arc<Pool>) -> Self {
+        let index = (0..SHARDS).map(|_| RwLock::new(BTreeMap::new())).collect();
+        Self { pool, index }
+    }
+
+    #[inline]
+    fn shard(&self, key: u64) -> &RwLock<BTreeMap<u64, u64>> {
+        &self.index[(key.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 58) as usize % SHARDS]
+    }
+
+    /// Format a fresh pool.
+    pub fn create(pool: Arc<Pool>) -> Arc<Self> {
+        pool.write(R_BUMP, ROOT_WORDS);
+        pool.write(R_HEAD, 0);
+        pool.write(R_MAGIC, ROOT_MAGIC);
+        pool.persist(0, ROOT_WORDS);
+        Arc::new(Self::empty(pool))
+    }
+
+    /// Reconnect after a restart: **O(n)** — the whole bottom level is
+    /// scanned to rebuild the DRAM index (the cost the thesis's design
+    /// avoids). Returns the handle and the number of records scanned.
+    pub fn open(pool: Arc<Pool>) -> (Arc<Self>, u64) {
+        assert_eq!(
+            pool.read(R_MAGIC),
+            ROOT_MAGIC,
+            "pool holds no hybridskip root"
+        );
+        let s = Self::empty(pool);
+        let mut scanned = 0;
+        let mut cur = s.pool.read(R_HEAD);
+        while cur != 0 {
+            scanned += 1;
+            let key = s.pool.read(cur + N_KEY);
+            // The chain is newest-first; keep the first (newest) record
+            // per key.
+            s.shard(key).write().entry(key).or_insert(cur);
+            cur = s.pool.read(cur + N_NEXT);
+        }
+        (Arc::new(s), scanned)
+    }
+
+    pub fn pool(&self) -> &Arc<Pool> {
+        &self.pool
+    }
+
+    /// Upsert. Returns the previous live value.
+    pub fn insert(&self, key: u64, value: u64) -> Option<u64> {
+        assert!(key >= 1 && value != DEAD);
+        let shard = self.shard(key);
+        let mut idx = shard.write();
+        if let Some(&node) = idx.get(&key) {
+            let old = self.pool.read(node + N_VALUE);
+            self.pool.write(node + N_VALUE, value);
+            self.pool.persist(node + N_VALUE, 1);
+            return (old != DEAD).then_some(old);
+        }
+        // Append a new node at the head of the persistent chain. The node
+        // is persisted before the head pointer, so a crash never exposes a
+        // torn record; a crash between the two leaks one node (as in
+        // NV-Skiplist, which relies on its allocator's GC).
+        let node = loop {
+            let cur = self.pool.read(R_BUMP);
+            assert!(
+                cur + NODE_WORDS <= self.pool.len_words(),
+                "hybridskip pool exhausted"
+            );
+            if self.pool.cas(R_BUMP, cur, cur + NODE_WORDS).is_ok() {
+                self.pool.persist(R_BUMP, 1);
+                break cur;
+            }
+        };
+        self.pool.write(node + N_KEY, key);
+        self.pool.write(node + N_VALUE, value);
+        self.pool.write(node + N_NEXT, self.pool.read(R_HEAD));
+        self.pool.persist(node, NODE_WORDS);
+        self.pool.write(R_HEAD, node);
+        self.pool.persist(R_HEAD, 1);
+        idx.insert(key, node);
+        None
+    }
+
+    /// Lookup through the DRAM index (one PMEM read).
+    pub fn get(&self, key: u64) -> Option<u64> {
+        assert!(key >= 1);
+        let idx = self.shard(key).read();
+        let &node = idx.get(&key)?;
+        let v = self.pool.read(node + N_VALUE);
+        (v != DEAD).then_some(v)
+    }
+
+    /// Logical removal.
+    pub fn remove(&self, key: u64) -> Option<u64> {
+        assert!(key >= 1);
+        let idx = self.shard(key).write();
+        let &node = idx.get(&key)?;
+        let old = self.pool.read(node + N_VALUE);
+        if old == DEAD {
+            return None;
+        }
+        self.pool.write(node + N_VALUE, DEAD);
+        self.pool.persist(node + N_VALUE, 1);
+        Some(old)
+    }
+
+    /// Live keys (diagnostic).
+    pub fn count_live(&self) -> usize {
+        self.index
+            .iter()
+            .map(|s| {
+                s.read()
+                    .values()
+                    .filter(|&&n| self.pool.read(n + N_VALUE) != DEAD)
+                    .count()
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn list(words: u64) -> Arc<HybridSkipList> {
+        HybridSkipList::create(Pool::tracked(words))
+    }
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let l = list(1 << 16);
+        assert_eq!(l.insert(5, 50), None);
+        assert_eq!(l.get(5), Some(50));
+        assert_eq!(l.insert(5, 51), Some(50));
+        assert_eq!(l.remove(5), Some(51));
+        assert_eq!(l.get(5), None);
+        assert_eq!(l.insert(5, 52), None);
+        assert_eq!(l.get(5), Some(52));
+    }
+
+    #[test]
+    fn recovery_rebuilds_index_by_scanning_everything() {
+        let pool = Pool::tracked(1 << 20);
+        let l = HybridSkipList::create(Arc::clone(&pool));
+        for k in 1..=5_000u64 {
+            l.insert(k, k * 3);
+        }
+        l.insert(42, 999); // update: newest record must win after rebuild
+        pool.mark_all_persisted();
+        pool.simulate_crash();
+        drop(l);
+        let (l, scanned) = HybridSkipList::open(pool);
+        assert_eq!(scanned, 5_000, "recovery must touch every record");
+        assert_eq!(l.get(42), Some(999));
+        for k in 1..=5_000u64 {
+            assert!(l.get(k).is_some(), "key {k} lost");
+        }
+    }
+
+    #[test]
+    fn acked_inserts_survive_dirty_crash() {
+        pmem::crash::silence_crash_panics();
+        let pool = Pool::tracked(1 << 20);
+        let l = HybridSkipList::create(Arc::clone(&pool));
+        pool.crash_controller().arm_after(20_000);
+        let mut acked = 0u64;
+        let _ = pmem::run_crashable(|| {
+            for k in 1..=100_000u64 {
+                l.insert(k, k);
+                acked = k;
+            }
+        });
+        pool.crash_controller().disarm();
+        pmem::discard_pending();
+        pool.simulate_crash();
+        drop(l);
+        let (l, _) = HybridSkipList::open(pool);
+        for k in 1..=acked {
+            assert_eq!(l.get(k), Some(k), "acked insert {k} lost");
+        }
+    }
+
+    #[test]
+    fn concurrent_inserts_and_reads() {
+        let l = HybridSkipList::create(Pool::simple(1 << 22));
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let l = &l;
+                s.spawn(move || {
+                    pmem::thread::register(t as usize, 0);
+                    for i in 0..500u64 {
+                        let k = t * 500 + i + 1;
+                        assert_eq!(l.insert(k, k), None);
+                        assert_eq!(l.get(k), Some(k));
+                    }
+                });
+            }
+        });
+        assert_eq!(l.count_live(), 4_000);
+    }
+
+    #[test]
+    fn recovery_time_scales_with_size() {
+        // The property E6 exploits: bigger structure ⇒ slower open.
+        let mut times = Vec::new();
+        for n in [2_000u64, 20_000] {
+            let pool = Pool::tracked(1 << 22);
+            let l = HybridSkipList::create(Arc::clone(&pool));
+            for k in 1..=n {
+                l.insert(k, k);
+            }
+            pool.mark_all_persisted();
+            pool.simulate_crash();
+            drop(l);
+            let t0 = std::time::Instant::now();
+            let (_, scanned) = HybridSkipList::open(pool);
+            times.push(t0.elapsed());
+            assert_eq!(scanned, n);
+        }
+        assert!(
+            times[1] > times[0],
+            "10× records must not recover faster: {times:?}"
+        );
+    }
+}

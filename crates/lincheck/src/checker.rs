@@ -1,0 +1,244 @@
+//! Strict-linearizability checking of per-key CAS histories.
+//!
+//! Because every written value is unique and every write returns the value
+//! it replaced, the total order of the writes on one key is forced by the
+//! values themselves (each value is the predecessor of at most one write).
+//! The analyzer (after Cepeda et al.\[14\], as used in thesis §6.2):
+//!
+//! 1. reconstructs the per-key write chain from `EMPTY`, branching only
+//!    where a *pending* write (cut off by a crash, return unknown) may have
+//!    taken effect — those are inserted by a bounded search, mirroring the
+//!    original analyzer's "inferred responses";
+//! 2. verifies the chain against real time: a write may not be ordered
+//!    after one that completed before it started, where a pending write's
+//!    response deadline is the crash itself (strict linearizability);
+//! 3. verifies every read: it must observe a chained value, must not end
+//!    before its writer started, and must not start after a later write
+//!    completed.
+
+use std::collections::HashMap;
+
+use crate::history::{History, OpKind, OpRecord, EMPTY, PENDING};
+
+/// Why a history is rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    pub key: u64,
+    pub reason: String,
+}
+
+/// Outcome of checking a history.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct CheckResult {
+    pub keys_checked: usize,
+    pub reads_checked: usize,
+    pub writes_checked: usize,
+    pub violations: Vec<Violation>,
+    /// Keys whose pending-write search exceeded the bound (none observed in
+    /// practice; reported rather than silently passed).
+    pub inconclusive_keys: usize,
+}
+
+impl CheckResult {
+    pub fn is_linearizable(&self) -> bool {
+        self.violations.is_empty() && self.inconclusive_keys == 0
+    }
+}
+
+const MAX_PENDING_SEARCH: usize = 14;
+
+/// Check a complete history for strict linearizability.
+pub fn check(history: &History) -> CheckResult {
+    let mut per_key: HashMap<u64, Vec<&OpRecord>> = HashMap::new();
+    for op in &history.ops {
+        per_key.entry(op.key).or_default().push(op);
+    }
+    let mut result = CheckResult::default();
+    for (key, ops) in per_key {
+        result.keys_checked += 1;
+        match check_key(history, key, &ops) {
+            KeyOutcome::Ok { reads, writes } => {
+                result.reads_checked += reads;
+                result.writes_checked += writes;
+            }
+            KeyOutcome::Violation(reason) => result.violations.push(Violation { key, reason }),
+            KeyOutcome::Inconclusive => result.inconclusive_keys += 1,
+        }
+    }
+    result
+}
+
+enum KeyOutcome {
+    Ok { reads: usize, writes: usize },
+    Violation(String),
+    Inconclusive,
+}
+
+fn check_key(history: &History, key: u64, ops: &[&OpRecord]) -> KeyOutcome {
+    let mut by_prev: HashMap<u64, &OpRecord> = HashMap::new();
+    let mut pending: Vec<&OpRecord> = Vec::new();
+    let mut reads: Vec<&OpRecord> = Vec::new();
+    let mut completed_writes = 0usize;
+    for op in ops {
+        match op.kind {
+            OpKind::Read => {
+                if op.ret != PENDING {
+                    reads.push(op);
+                }
+            }
+            OpKind::Write => {
+                if op.ret == PENDING {
+                    pending.push(op);
+                } else {
+                    completed_writes += 1;
+                    if by_prev.insert(op.ret, op).is_some() {
+                        return KeyOutcome::Violation(format!(
+                            "two writes on key {key} both replaced value {} (lost update)",
+                            op.ret
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    if pending.len() > MAX_PENDING_SEARCH {
+        return KeyOutcome::Inconclusive;
+    }
+    // Values that *must* appear in the chain because someone observed them.
+    let mut observed: Vec<u64> = reads
+        .iter()
+        .map(|r| r.ret)
+        .filter(|&v| v != EMPTY)
+        .collect();
+    observed.extend(by_prev.keys().copied().filter(|&v| v != EMPTY));
+    observed.sort_unstable();
+    observed.dedup();
+
+    let mut search = Search {
+        history,
+        by_prev: &by_prev,
+        pending: &pending,
+        reads: &reads,
+        observed: &observed,
+        completed_writes,
+        nodes_visited: 0,
+    };
+    match search.dfs(EMPTY, 0, &mut vec![]) {
+        SearchOutcome::Found => KeyOutcome::Ok {
+            reads: reads.len(),
+            writes: completed_writes + pending.len(),
+        },
+        SearchOutcome::Exhausted => KeyOutcome::Violation(format!(
+            "no strictly linearizable order exists for key {key} \
+             ({completed_writes} writes, {} pending, {} reads)",
+            pending.len(),
+            reads.len()
+        )),
+        SearchOutcome::Bounded => KeyOutcome::Inconclusive,
+    }
+}
+
+enum SearchOutcome {
+    Found,
+    Exhausted,
+    Bounded,
+}
+
+struct Search<'a> {
+    history: &'a History,
+    by_prev: &'a HashMap<u64, &'a OpRecord>,
+    pending: &'a [&'a OpRecord],
+    reads: &'a [&'a OpRecord],
+    observed: &'a [u64],
+    completed_writes: usize,
+    nodes_visited: u64,
+}
+
+impl<'a> Search<'a> {
+    /// Extend the chain from `value`; `used` is a bitmask over pending
+    /// writes; `chain` holds the writes in order.
+    fn dfs(&mut self, value: u64, used: u32, chain: &mut Vec<&'a OpRecord>) -> SearchOutcome {
+        self.nodes_visited += 1;
+        if self.nodes_visited > 2_000_000 {
+            return SearchOutcome::Bounded;
+        }
+        // Forced move: a completed write replacing `value` is the unique
+        // successor (values are unique, so nothing can interpose).
+        if let Some(&w) = self.by_prev.get(&value) {
+            chain.push(w);
+            let r = self.dfs(w.arg, used, chain);
+            chain.pop();
+            return r;
+        }
+        // Chain tail: accept if complete and consistent.
+        if self.validate(chain) {
+            return SearchOutcome::Found;
+        }
+        // Otherwise, try taking one unused pending write next.
+        for (i, &p) in self.pending.iter().enumerate() {
+            if used & (1 << i) != 0 {
+                continue;
+            }
+            chain.push(p);
+            let r = self.dfs(p.arg, used | (1 << i), chain);
+            chain.pop();
+            match r {
+                SearchOutcome::Found => return SearchOutcome::Found,
+                SearchOutcome::Bounded => return SearchOutcome::Bounded,
+                SearchOutcome::Exhausted => {}
+            }
+        }
+        SearchOutcome::Exhausted
+    }
+
+    /// A complete chain must contain all completed writes and every
+    /// observed value, respect real time, and satisfy every read.
+    fn validate(&self, chain: &[&OpRecord]) -> bool {
+        let in_chain: HashMap<u64, usize> =
+            chain.iter().enumerate().map(|(i, w)| (w.arg, i)).collect();
+        if chain.iter().filter(|w| w.ret != PENDING).count() != self.completed_writes {
+            return false;
+        }
+        for &v in self.observed {
+            if !in_chain.contains_key(&v) {
+                return false;
+            }
+        }
+        // Real-time order of writes: no write may be chained after one that
+        // responded (or crashed) before it started.
+        let mut max_start = 0u64;
+        for w in chain {
+            if self.history.effective_end(w) < max_start {
+                return false;
+            }
+            max_start = max_start.max(w.start);
+        }
+        // Suffix minima of effective ends, for the read checks.
+        let mut suffix_min = vec![u64::MAX; chain.len() + 1];
+        for i in (0..chain.len()).rev() {
+            suffix_min[i] = suffix_min[i + 1].min(self.history.effective_end(chain[i]));
+        }
+        for r in self.reads {
+            if r.ret == EMPTY {
+                // Must linearize before the first write: invalid if any
+                // write completed before the read began.
+                if suffix_min[0] < r.start {
+                    return false;
+                }
+                continue;
+            }
+            let Some(&p) = in_chain.get(&r.ret) else {
+                return false;
+            };
+            // The read cannot finish before its writer started …
+            if self.history.effective_end(r) < chain[p].start {
+                return false;
+            }
+            // … and cannot start after a later write already completed.
+            if suffix_min[p + 1] < r.start {
+                return false;
+            }
+        }
+        true
+    }
+}

@@ -1,0 +1,94 @@
+//! Operation histories for black-box linearizability analysis (Chapter 6).
+//!
+//! Following the thesis's methodology (§6.2), write operations are treated
+//! as conditional swaps: every written value is **globally unique** (the
+//! harness uses a monotonic ticket for values *and* timestamps), and each
+//! write returns the value it replaced, so the analyzer can reconstruct the
+//! total order of writes per key from the values alone and then verify it
+//! against real time and crash boundaries.
+
+/// The "empty" value: what a read of an absent key returns, and what the
+/// first insert of a key replaces (the thesis uses −1; we use 0 and keep
+/// ticket values ≥ 1).
+pub const EMPTY: u64 = 0;
+
+/// Return-value marker for operations that were still pending when the
+/// machine crashed (strict linearizability treats the crash as their
+/// response deadline).
+pub const PENDING: u64 = u64::MAX;
+
+/// Operation kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// Insert/update: writes `arg`, returns the previous value.
+    Write,
+    /// Read: returns the observed value (or [`EMPTY`]).
+    Read,
+}
+
+/// One logged operation. `start` and `end` are ticks from a shared
+/// monotonic counter; `end == PENDING` marks an operation cut off by a
+/// crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpRecord {
+    pub thread: u32,
+    pub kind: OpKind,
+    pub key: u64,
+    /// Value written (writes) or 0 (reads).
+    pub arg: u64,
+    /// Previous value (writes) / observed value (reads) / [`PENDING`].
+    pub ret: u64,
+    pub start: u64,
+    pub end: u64,
+}
+
+/// A complete history: operations plus the ticks at which crashes occurred.
+#[derive(Debug, Default, Clone)]
+pub struct History {
+    pub ops: Vec<OpRecord>,
+    pub crashes: Vec<u64>,
+}
+
+impl History {
+    /// Number of operations that were pending at some crash.
+    pub fn pending_count(&self) -> usize {
+        self.ops.iter().filter(|o| o.ret == PENDING).count()
+    }
+
+    /// Effective response time of an op under strict linearizability: a
+    /// pending op's deadline is the first crash after its invocation.
+    pub fn effective_end(&self, op: &OpRecord) -> u64 {
+        if op.ret != PENDING {
+            return op.end;
+        }
+        self.crashes
+            .iter()
+            .copied()
+            .filter(|&c| c >= op.start)
+            .min()
+            .unwrap_or(u64::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pending_ops_deadline_at_next_crash() {
+        let h = History {
+            ops: vec![OpRecord {
+                thread: 0,
+                kind: OpKind::Write,
+                key: 1,
+                arg: 5,
+                ret: PENDING,
+                start: 10,
+                end: PENDING,
+            }],
+            crashes: vec![4, 20, 30],
+        };
+        assert_eq!(h.effective_end(&h.ops[0]), 20);
+        assert_eq!(h.pending_count(), 1);
+    }
+}

@@ -1,0 +1,97 @@
+//! Harness-side history recording.
+//!
+//! A [`Ticket`] provides globally unique, monotonically increasing ticks
+//! used both as timestamps and as written values (the thesis uses logged
+//! operation start times as the unique insert values, §6.1.1). Each worker
+//! owns a [`ThreadLog`]; operations are opened before the structure call
+//! and closed after it, so an operation cut off by a simulated power
+//! failure stays open and is reported as pending-at-crash.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::history::{History, OpKind, OpRecord, PENDING};
+
+/// Shared monotonic tick source. Lives in the harness (i.e. survives the
+/// simulated power failures, which only clear the simulated pools).
+#[derive(Debug, Default)]
+pub struct Ticket(AtomicU64);
+
+impl Ticket {
+    pub fn new() -> Self {
+        Self(AtomicU64::new(1))
+    }
+
+    /// Next unique tick (≥ 1, so 0 stays the EMPTY value).
+    #[inline]
+    pub fn next(&self) -> u64 {
+        self.0.fetch_add(1, Ordering::Relaxed)
+    }
+}
+
+/// Per-thread operation log.
+#[derive(Debug, Default)]
+pub struct ThreadLog {
+    thread: u32,
+    ops: Vec<OpRecord>,
+}
+
+impl ThreadLog {
+    pub fn new(thread: u32) -> Self {
+        Self {
+            thread,
+            ops: Vec::new(),
+        }
+    }
+
+    /// Open an operation; returns its index for [`ThreadLog::finish`].
+    pub fn begin(&mut self, ticket: &Ticket, kind: OpKind, key: u64, arg: u64) -> usize {
+        self.ops.push(OpRecord {
+            thread: self.thread,
+            kind,
+            key,
+            arg,
+            ret: PENDING,
+            start: ticket.next(),
+            end: PENDING,
+        });
+        self.ops.len() - 1
+    }
+
+    /// Close an operation with its response.
+    pub fn finish(&mut self, ticket: &Ticket, idx: usize, ret: u64) {
+        let op = &mut self.ops[idx];
+        op.ret = ret;
+        op.end = ticket.next();
+    }
+
+    pub fn into_ops(self) -> Vec<OpRecord> {
+        self.ops
+    }
+}
+
+/// Merge thread logs and crash ticks into a [`History`].
+pub fn merge(logs: Vec<ThreadLog>, crashes: Vec<u64>) -> History {
+    let mut ops = Vec::new();
+    for log in logs {
+        ops.extend(log.into_ops());
+    }
+    History { ops, crashes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_ops_stay_pending() {
+        let t = Ticket::new();
+        let mut log = ThreadLog::new(0);
+        let a = log.begin(&t, OpKind::Write, 1, 100);
+        log.finish(&t, a, 0);
+        let _b = log.begin(&t, OpKind::Read, 1, 0); // never finished: crash
+        let h = merge(vec![log], vec![t.next()]);
+        assert_eq!(h.ops.len(), 2);
+        assert_eq!(h.pending_count(), 1);
+        assert!(h.ops[0].end > h.ops[0].start);
+    }
+}

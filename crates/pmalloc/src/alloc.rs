@@ -1,0 +1,570 @@
+//! The recoverable block allocator (thesis §4.3.2–4.3.3, Functions 4–6).
+//!
+//! * **Coarse grain**: chunks are reserved from each pool's data region by a
+//!   single monotonic counter, so a chunk id alone identifies its region and
+//!   an interrupted provisioning can always be re-derived and completed.
+//! * **Fine grain**: each pool has `num_arenas` lock-free free lists of
+//!   fixed-size blocks. Threads pop from the head of
+//!   `arena = thread_id % num_arenas` (Function 4) and push returned blocks
+//!   at the tail (Functions 5–6). Blocks reference each other with RIV
+//!   pointers, so a free list on one NUMA node may contain blocks homed on
+//!   another — exactly what cross-node deallocation needs (§4.3.3).
+//! * **Recovery**: every pop/provisioning is preceded by a persisted
+//!   per-thread log; a log left over from a previous failure-free epoch is
+//!   validated on the thread's next allocation and any unreachable memory is
+//!   returned to a free list (deferred recovery, §4.1.4).
+//!
+//! ### Known windows (shared with the thesis's algorithm)
+//!
+//! The head pop is Function 4's single-word CAS and therefore inherits the
+//! classic free-list ABA window (a stalled thread can mis-pop if the same
+//! block cycles head → allocated → freed → head while it sleeps); frees are
+//! rare (failed link-ins and crash cleanup), matching the thesis's usage.
+//! A crash in the handful of instructions between a successful pop CAS and
+//! the RAW-marking of the block can leak at most one block per thread.
+
+use std::sync::Arc;
+
+use pmem::thread;
+use riv::{RivPtr, RivSpace};
+
+use crate::blocks::*;
+use crate::layout::{AllocConfig, PoolLayout, META_NEXT_CHUNK};
+use crate::log::{read_log, write_log, LogEntry};
+
+/// Client-provided navigation used to validate stale allocation logs: the
+/// allocator itself cannot interpret node contents.
+pub trait Reachability: Sync {
+    /// Walk the structure's bottom level from `pred` and report whether
+    /// `block` is linked in as the node whose first key is `key`
+    /// (Function 3 lines 15–22).
+    fn is_reachable(&self, pred: RivPtr, key: u64, block: RivPtr) -> bool;
+
+    /// The first key stored in a block that is initialized as a node; used
+    /// to distinguish "our interrupted insert" from "block reallocated by a
+    /// different thread" (§4.3.3 "additional metadata in the log entry").
+    fn node_first_key(&self, block: RivPtr) -> u64;
+}
+
+/// The allocator. Cheap to clone handles around via `Arc`.
+pub struct Allocator {
+    space: Arc<RivSpace>,
+    cfg: AllocConfig,
+    layout: PoolLayout,
+}
+
+impl std::fmt::Debug for Allocator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Allocator")
+            .field("cfg", &self.cfg)
+            .field("layout", &self.layout)
+            .finish()
+    }
+}
+
+impl Allocator {
+    /// Wrap an existing space. Call [`Allocator::format`] once on a fresh
+    /// set of pools before first use.
+    pub fn new(space: Arc<RivSpace>, cfg: AllocConfig) -> Self {
+        assert!(
+            cfg.blocks_per_chunk >= cfg.num_arenas as u64,
+            "each arena needs at least one block per chunk"
+        );
+        assert!(cfg.block_words > BLK_CLIENT, "blocks must fit their header");
+        let layout = PoolLayout::for_config(&cfg);
+        Self { space, cfg, layout }
+    }
+
+    #[inline]
+    pub fn space(&self) -> &Arc<RivSpace> {
+        &self.space
+    }
+
+    #[inline]
+    pub fn config(&self) -> &AllocConfig {
+        &self.cfg
+    }
+
+    #[inline]
+    pub fn layout(&self) -> &PoolLayout {
+        &self.layout
+    }
+
+    /// One-time, single-threaded initialization of every pool: reset the
+    /// chunk counter and seed each arena with the runs of one chunk.
+    pub fn format(&self, epoch: u64) {
+        for pool_id in 0..self.space.pools().len() as u16 {
+            let pool = self.space.pool(pool_id);
+            pool.write(self.layout.alloc_meta_off + META_NEXT_CHUNK, 1);
+            pool.persist(self.layout.alloc_meta_off + META_NEXT_CHUNK, 1);
+            let chunk_id = self.reserve_chunk_id(pool_id);
+            let runs = self.carve_chunk(epoch, pool_id, chunk_id);
+            self.space.register_chunk(
+                pool_id,
+                chunk_id,
+                self.layout.chunk_base(&self.cfg, chunk_id),
+            );
+            for (arena, (first, last)) in runs.into_iter().enumerate() {
+                let head = self.layout.arena_head(arena);
+                let tail = self.layout.arena_tail(arena);
+                pool.write(head, first.raw());
+                pool.write(tail, last.raw());
+                pool.persist(head, 1);
+                pool.persist(tail, 1);
+            }
+        }
+    }
+
+    /// Allocate one block from the caller's NUMA pool, intended to be linked
+    /// after `pred` as the node whose first key will be `key`
+    /// (`MakeLinkedObject`, Function 4, up to the pop). The returned block
+    /// has kind [`KIND_RAW`]; the client initializes it and sets
+    /// [`KIND_NODE`].
+    pub fn alloc(
+        &self,
+        epoch: u64,
+        pool_id: u16,
+        pred: RivPtr,
+        key: u64,
+        reach: &dyn Reachability,
+    ) -> RivPtr {
+        let ctx = thread::current();
+        let arena = ctx.id % self.cfg.num_arenas;
+        let pool = self.space.pool(pool_id);
+        let head_slot = self.layout.arena_head(arena);
+        loop {
+            let head_raw = pool.read(head_slot);
+            let head = RivPtr::from_raw(head_raw);
+            assert!(
+                !head.is_null(),
+                "arena head must never be null (pool not formatted?)"
+            );
+            let next_raw = self.space.read(head.add(BLK_NEXT_FREE as u32));
+            if next_raw == 0 {
+                // The last block is never popped; grow instead (line 34).
+                self.provision_chunk(epoch, pool_id, reach);
+                continue;
+            }
+            // Function 3: validate any stale log, then log this attempt.
+            self.log_change_attempt(epoch, head, pred, key, reach);
+            if pool.cas(head_slot, head_raw, next_raw).is_ok() {
+                pool.persist(head_slot, 1);
+                // De-initialize the popped block immediately so a stale log
+                // pointing at it can classify it (see module docs). The
+                // next word gets the POPPED sentinel, never 0, so a racing
+                // or crash-stale push cannot attach a chain here.
+                self.space.write(head.add(BLK_KIND as u32), KIND_RAW);
+                self.space
+                    .write(head.add(BLK_NEXT_FREE as u32), NEXT_POPPED);
+                self.space.write(head.add(BLK_EPOCH as u32), epoch);
+                self.space.persist(head, BLK_CLIENT);
+                // If the tail was lagging on the block we just removed,
+                // advance it so pushes keep finding in-list tails.
+                let tail_slot = self.layout.arena_tail(arena);
+                if pool.read(tail_slot) == head_raw {
+                    let _ = pool.cas(tail_slot, head_raw, next_raw);
+                    pool.persist(tail_slot, 1);
+                }
+                return head;
+            }
+        }
+    }
+
+    /// Return an object to a free list of `pool_id` (`DeleteLinkedObject`,
+    /// Function 5). Idempotent: safe to call again on a block whose previous
+    /// deletion was interrupted, and safe to race with another recovering
+    /// thread deleting the same block.
+    pub fn free(&self, epoch: u64, pool_id: u16, obj: RivPtr) {
+        let ctx = thread::current();
+        let arena = ctx.id % self.cfg.num_arenas;
+        let kind = self.space.read(obj.add(BLK_KIND as u32));
+        if kind != KIND_FREE {
+            // "If object is a node": de-initialize by zeroing it out
+            // (Function 5 lines 46–48). RAW blocks take the same path.
+            for w in BLK_CLIENT..self.cfg.block_words {
+                self.space.write(obj.add(w as u32), 0);
+            }
+            self.space.write(obj.add(BLK_NEXT_FREE as u32), 0);
+            self.space.write(obj.add(BLK_EPOCH as u32), epoch);
+            self.space.write(obj.add(BLK_KIND as u32), KIND_FREE);
+            self.space.persist(obj, self.cfg.block_words);
+        } else {
+            // Already free with a successor: a previous deletion completed
+            // (Function 5 lines 50–51). A free block with next == 0 may be
+            // the in-list tail or an unlinked orphan — the membership walk
+            // below distinguishes the two.
+            let next = self.space.read(obj.add(BLK_NEXT_FREE as u32));
+            if next != 0 && next != NEXT_POPPED {
+                return;
+            }
+        }
+        self.link_chain_in_tail(epoch, pool_id, arena, obj, obj);
+    }
+
+    /// `LogChangeAttempt` (Function 3): validate the thread's previous log
+    /// if it predates the current epoch, then persist the new entry.
+    fn log_change_attempt(
+        &self,
+        epoch: u64,
+        block: RivPtr,
+        pred: RivPtr,
+        key: u64,
+        reach: &dyn Reachability,
+    ) {
+        let tid = thread::current().id;
+        let prev = read_log(&self.space, &self.layout, tid);
+        if let Some(log_epoch) = prev.epoch() {
+            if log_epoch != epoch {
+                self.recover_log(epoch, prev, reach);
+            }
+        }
+        write_log(
+            &self.space,
+            &self.layout,
+            tid,
+            LogEntry::Alloc {
+                epoch,
+                block,
+                pred,
+                key,
+            },
+        );
+    }
+
+    /// Validate one stale log entry and repair whatever it covered.
+    pub(crate) fn recover_log(&self, epoch: u64, entry: LogEntry, reach: &dyn Reachability) {
+        match entry {
+            LogEntry::Empty => {}
+            LogEntry::Alloc {
+                epoch: log_epoch,
+                block,
+                pred,
+                key,
+            } => {
+                // A block popped again after the crash carries the *new*
+                // failure-free epoch (written at pop, persisted with its
+                // kind in the same line): it belongs to another thread's
+                // in-flight operation now, whatever its contents look
+                // like, and must not be reclaimed from this stale log.
+                if self.space.read(block.add(BLK_EPOCH as u32)) != log_epoch {
+                    return;
+                }
+                let kind = self.space.read(block.add(BLK_KIND as u32));
+                match kind {
+                    KIND_NODE => {
+                        if reach.node_first_key(block) != key {
+                            // Reallocated by a different thread since; its
+                            // own log covers it.
+                            return;
+                        }
+                        if reach.is_reachable(pred, key, block) {
+                            // The interrupted insert actually completed.
+                            return;
+                        }
+                        let home = thread::current()
+                            .numa_node
+                            .min(self.space.pools().len() as u16 - 1);
+                        self.free(epoch, home, block);
+                    }
+                    KIND_RAW => {
+                        let next = self.space.read(block.add(BLK_NEXT_FREE as u32));
+                        if next == NEXT_POPPED || next == 0 {
+                            // Popped (or mid-conversion) but never
+                            // initialized: reclaim.
+                            let home = thread::current()
+                                .numa_node
+                                .min(self.space.pools().len() as u16 - 1);
+                            self.free(epoch, home, block);
+                        }
+                        // Any other next value: the pop CAS may not have
+                        // become durable and the block could still be in a
+                        // list — leave it (bounded leak, see module docs).
+                    }
+                    _ => {
+                        // KIND_FREE: already back (or still) in a free list.
+                    }
+                }
+            }
+            LogEntry::Provision {
+                pool_id, chunk_id, ..
+            } => {
+                self.recover_provision(epoch, pool_id, chunk_id);
+            }
+        }
+    }
+
+    /// Reserve a fresh chunk id, skipping ids that a crash-era race already
+    /// registered (the counter's persist can lag its volatile increment).
+    fn reserve_chunk_id(&self, pool_id: u16) -> u16 {
+        let pool = self.space.pool(pool_id);
+        let counter = self.layout.alloc_meta_off + META_NEXT_CHUNK;
+        loop {
+            let id = pool.fetch_add(counter, 1);
+            pool.persist(counter, 1);
+            assert!(
+                id < self.cfg.max_chunks as u64,
+                "pool {pool_id} exhausted: chunk table full"
+            );
+            let id = id as u16;
+            if pool.read(self.layout.chunk_table_off + id as u64) == 0 {
+                let required = self.layout.required_pool_words(&self.cfg, id as u64);
+                assert!(
+                    required <= pool.len_words(),
+                    "pool {pool_id} exhausted: chunk {id} needs {required} words"
+                );
+                return id;
+            }
+        }
+    }
+
+    /// Provision a new chunk: log, carve, register (commit point), link its
+    /// per-arena runs into the free lists.
+    fn provision_chunk(&self, epoch: u64, pool_id: u16, reach: &dyn Reachability) {
+        let tid = thread::current().id;
+        let chunk_id = self.reserve_chunk_id(pool_id);
+        // Validate the previous log first (it may be stale), then log this
+        // provisioning so a crash mid-way is completed on our next attempt.
+        let prev = read_log(&self.space, &self.layout, tid);
+        if let Some(log_epoch) = prev.epoch() {
+            if log_epoch != epoch {
+                self.recover_log(epoch, prev, reach);
+            }
+        }
+        write_log(
+            &self.space,
+            &self.layout,
+            tid,
+            LogEntry::Provision {
+                epoch,
+                pool_id,
+                chunk_id,
+            },
+        );
+        // The whole chunk goes to the requesting thread's arena (Function 4
+        // line 35 links the new chunk into the empty list that triggered
+        // it); splitting across arenas would strand 1 − 1/arenas of every
+        // chunk when few threads are active.
+        let (first, last) = self.carve_chunk_single(epoch, pool_id, chunk_id);
+        self.space.register_chunk(
+            pool_id,
+            chunk_id,
+            self.layout.chunk_base(&self.cfg, chunk_id),
+        );
+        let arena = tid % self.cfg.num_arenas;
+        self.link_chain_in_tail(epoch, pool_id, arena, first, last);
+    }
+
+    /// Complete an interrupted provisioning (idempotent). Runtime chunks
+    /// are single whole-chunk chains owned by the logging thread's arena.
+    fn recover_provision(&self, epoch: u64, pool_id: u16, chunk_id: u16) {
+        let pool = self.space.pool(pool_id);
+        let registered = pool.read(self.layout.chunk_table_off + chunk_id as u64) != 0;
+        let (first, last) = if registered {
+            self.chunk_span(pool_id, chunk_id)
+        } else {
+            // Carving never completed; the region content is garbage and
+            // nothing references it — re-carve from scratch.
+            let span = self.carve_chunk_single(epoch, pool_id, chunk_id);
+            self.space.register_chunk(
+                pool_id,
+                chunk_id,
+                self.layout.chunk_base(&self.cfg, chunk_id),
+            );
+            span
+        };
+        let arena = thread::current().id % self.cfg.num_arenas;
+        let _ = pool;
+        // A chain whose last block is free and unlinked was never attached
+        // (registered-but-unlinked chunks are invisible to other threads,
+        // so the checks are stable); the walk-based push is additionally a
+        // membership check, making double-links impossible.
+        let last_kind = self.space.read(last.add(BLK_KIND as u32));
+        if last_kind != KIND_FREE {
+            return; // blocks were popped ⇒ the chain was linked
+        }
+        if self.space.read(last.add(BLK_NEXT_FREE as u32)) != 0 {
+            return; // something follows it ⇒ linked
+        }
+        self.link_chain_in_tail(epoch, pool_id, arena, first, last);
+    }
+
+    /// Write the free-block headers of a chunk as one whole-chunk chain.
+    /// Returns `(first, last)`.
+    fn carve_chunk_single(&self, epoch: u64, pool_id: u16, chunk_id: u16) -> (RivPtr, RivPtr) {
+        let pool = self.space.pool(pool_id);
+        let base = self.layout.chunk_base(&self.cfg, chunk_id);
+        let n = self.cfg.blocks_per_chunk;
+        for i in 0..n {
+            let blk = RivPtr::new(pool_id, chunk_id, (i * self.cfg.block_words) as u32);
+            let next = if i + 1 < n {
+                blk.add(self.cfg.block_words as u32)
+            } else {
+                RivPtr::NULL
+            };
+            self.space_write_unresolved(pool_id, base, blk, BLK_EPOCH, epoch);
+            self.space_write_unresolved(pool_id, base, blk, BLK_KIND, KIND_FREE);
+            self.space_write_unresolved(pool_id, base, blk, BLK_NEXT_FREE, next.raw());
+        }
+        pool.persist(base, self.cfg.chunk_words());
+        self.chunk_span(pool_id, chunk_id)
+    }
+
+    /// First and last block of a whole-chunk chain.
+    fn chunk_span(&self, pool_id: u16, chunk_id: u16) -> (RivPtr, RivPtr) {
+        let first = RivPtr::new(pool_id, chunk_id, 0);
+        let last = RivPtr::new(
+            pool_id,
+            chunk_id,
+            ((self.cfg.blocks_per_chunk - 1) * self.cfg.block_words) as u32,
+        );
+        (first, last)
+    }
+
+    /// Write the free-block headers of a chunk and chain them into one run
+    /// per arena (used only by the single-threaded [`Allocator::format`]
+    /// to seed every arena). Returns `(first, last)` per arena.
+    fn carve_chunk(&self, epoch: u64, pool_id: u16, chunk_id: u16) -> Vec<(RivPtr, RivPtr)> {
+        let pool = self.space.pool(pool_id);
+        let base = self.layout.chunk_base(&self.cfg, chunk_id);
+        let runs = self.chunk_runs(pool_id, chunk_id);
+        let per = self.cfg.blocks_per_chunk / self.cfg.num_arenas as u64;
+        for (arena, &(first, _)) in runs.iter().enumerate() {
+            let count = if arena == self.cfg.num_arenas - 1 {
+                self.cfg.blocks_per_chunk - per * (self.cfg.num_arenas as u64 - 1)
+            } else {
+                per
+            };
+            for i in 0..count {
+                let blk = first.add((i * self.cfg.block_words) as u32);
+                let next = if i + 1 < count {
+                    blk.add(self.cfg.block_words as u32)
+                } else {
+                    RivPtr::NULL
+                };
+                self.space_write_unresolved(pool_id, base, blk, BLK_EPOCH, epoch);
+                self.space_write_unresolved(pool_id, base, blk, BLK_KIND, KIND_FREE);
+                self.space_write_unresolved(pool_id, base, blk, BLK_NEXT_FREE, next.raw());
+            }
+        }
+        // One fence for the whole chunk.
+        pool.persist(base, self.cfg.chunk_words());
+        runs
+    }
+
+    /// Write a block header word before the chunk is registered in the
+    /// chunk table (so `RivSpace::resolve` cannot be used yet).
+    #[inline]
+    fn space_write_unresolved(&self, pool_id: u16, base: u64, blk: RivPtr, field: u64, v: u64) {
+        let pool = self.space.pool(pool_id);
+        pool.write(base + blk.offset() as u64 + field, v);
+    }
+
+    /// The `(first, last)` block pointers of each arena's run in a chunk.
+    fn chunk_runs(&self, pool_id: u16, chunk_id: u16) -> Vec<(RivPtr, RivPtr)> {
+        let per = self.cfg.blocks_per_chunk / self.cfg.num_arenas as u64;
+        (0..self.cfg.num_arenas)
+            .map(|arena| {
+                let start = arena as u64 * per;
+                let end = if arena == self.cfg.num_arenas - 1 {
+                    self.cfg.blocks_per_chunk
+                } else {
+                    start + per
+                };
+                let first = RivPtr::new(pool_id, chunk_id, (start * self.cfg.block_words) as u32);
+                let last =
+                    RivPtr::new(pool_id, chunk_id, ((end - 1) * self.cfg.block_words) as u32);
+                (first, last)
+            })
+            .collect()
+    }
+
+    /// `LinkInTail` (Function 6), reworked: the chain `first..=last` is
+    /// appended by **walking the live links from the arena head** instead
+    /// of trusting the persisted tail pointer. With blocks recycling
+    /// through pop/initialize cycles, a helped or crash-stale tail can
+    /// reference a block that already left the list, silently detaching
+    /// every subsequent push (a failure mode our contended benchmarks
+    /// hit). The walk costs O(list length) per push — frees are rare by
+    /// design (§4.3.3) — and doubles as a membership proof: encountering
+    /// `first` in-list makes re-pushes (idempotent recovery, Function 5)
+    /// a no-op. The tail slot is kept as a non-authoritative hint.
+    ///
+    /// Safety of the append CAS: a block observed in-list with
+    /// `next == 0` is the true tail (pops require `next != 0`, so a tail
+    /// cannot be popped), and the next-word is never reused by clients,
+    /// so the CAS can never land on live foreign state.
+    fn link_chain_in_tail(&self, _epoch: u64, pool_id: u16, arena: usize, first: RivPtr, last: RivPtr) {
+        let pool = self.space.pool(pool_id);
+        let head_slot = self.layout.arena_head(arena);
+        let mut cur = RivPtr::from_raw(pool.read(head_slot));
+        loop {
+            if cur == first || cur == last {
+                return; // already linked (idempotent re-push)
+            }
+            debug_assert!(!cur.is_null(), "arena head must never be null");
+            let next_field = cur.add(BLK_NEXT_FREE as u32);
+            let next = self.space.read(next_field);
+            if next == 0 {
+                if self.space.cas(next_field, 0, first.raw()).is_ok() {
+                    self.space.persist(next_field, 1);
+                    // Best-effort tail hint (never trusted as an anchor).
+                    let tail_slot = self.layout.arena_tail(arena);
+                    pool.write(tail_slot, last.raw());
+                    pool.persist(tail_slot, 1);
+                    return;
+                }
+                continue; // a concurrent push appended; re-read our next
+            }
+            if next == NEXT_POPPED {
+                // `cur` left the list under us; restart from the head.
+                cur = RivPtr::from_raw(pool.read(head_slot));
+                continue;
+            }
+            cur = RivPtr::from_raw(next);
+        }
+    }
+
+    // ---- test / diagnostic helpers ----
+
+    /// Count the blocks currently in `arena`'s free list of `pool_id`.
+    /// Only meaningful while the allocator is quiescent.
+    pub fn count_free(&self, pool_id: u16, arena: usize) -> usize {
+        let pool = self.space.pool(pool_id);
+        let mut cur = RivPtr::from_raw(pool.read(self.layout.arena_head(arena)));
+        let mut n = 0;
+        while !cur.is_null() {
+            n += 1;
+            assert!(n <= 1_000_000, "free list cycle detected");
+            cur = RivPtr::from_raw(self.space.read(cur.add(BLK_NEXT_FREE as u32)));
+        }
+        n
+    }
+
+    /// Total free blocks across all arenas of a pool (quiescent only).
+    pub fn count_free_all(&self, pool_id: u16) -> usize {
+        (0..self.cfg.num_arenas)
+            .map(|a| self.count_free(pool_id, a))
+            .sum()
+    }
+
+    /// Number of chunks carved so far in a pool.
+    pub fn chunks_provisioned(&self, pool_id: u16) -> u64 {
+        self.space
+            .pool(pool_id)
+            .read(self.layout.alloc_meta_off + META_NEXT_CHUNK)
+            - 1
+    }
+}
+
+/// Reachability stub for contexts where no structure exists to navigate yet
+/// (e.g. formatting tests). Treats every block as unreachable.
+pub struct NoNav;
+
+impl Reachability for NoNav {
+    fn is_reachable(&self, _pred: RivPtr, _key: u64, _block: RivPtr) -> bool {
+        false
+    }
+    fn node_first_key(&self, _block: RivPtr) -> u64 {
+        u64::MAX
+    }
+}

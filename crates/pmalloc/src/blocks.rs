@@ -1,0 +1,55 @@
+//! Memory-block structure (thesis §4.3.4).
+//!
+//! Every block starts with a three-word allocator header; the client owns
+//! the words from [`BLK_CLIENT`] on (and may also reuse [`BLK_NEXT_FREE`]
+//! once the block is initialized as a node — the allocator only trusts it
+//! while the block is free).
+
+/// Word offset of the failure-free epoch in which the block was last
+/// (de)initialized.
+pub const BLK_EPOCH: u64 = 0;
+/// Word offset of the block kind tag.
+pub const BLK_KIND: u64 = 1;
+/// Word offset of the next-free pointer (raw `RivPtr`), valid while free.
+pub const BLK_NEXT_FREE: u64 = 2;
+/// First word available to the client.
+pub const BLK_CLIENT: u64 = 3;
+
+/// Next-pointer sentinel written into a block the instant it is popped
+/// from a free list. It is non-zero so a `LinkInTail` push racing with the
+/// pop (or finding a crash-stale tail pointing at a popped block) fails its
+/// `CAS(next, 0, …)` instead of attaching a chain to a block that is no
+/// longer in the list — which would leak the whole chain.
+pub const NEXT_POPPED: u64 = u64::MAX;
+
+/// The block is linked (or about to be linked) in a free list.
+pub const KIND_FREE: u64 = 0xF4EE_0001;
+/// The block has been popped from a free list but not yet initialized by
+/// the client.
+pub const KIND_RAW: u64 = 0x4A77_0002;
+/// The block holds a live client object (e.g. a skip-list node).
+pub const KIND_NODE: u64 = 0x40DE_0003;
+
+#[cfg(test)]
+#[allow(clippy::assertions_on_constants)] // compile-time layout contracts, asserted for documentation
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_distinct_and_nonzero() {
+        let kinds = [KIND_FREE, KIND_RAW, KIND_NODE];
+        for (i, a) in kinds.iter().enumerate() {
+            assert_ne!(*a, 0);
+            for b in &kinds[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn header_fits_before_client_area() {
+        assert!(BLK_EPOCH < BLK_CLIENT);
+        assert!(BLK_KIND < BLK_CLIENT);
+        assert!(BLK_NEXT_FREE < BLK_CLIENT);
+    }
+}

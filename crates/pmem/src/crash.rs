@@ -1,0 +1,167 @@
+//! Crash injection: countdown-triggered simulated power failures.
+//!
+//! A [`CrashController`] is shared by every pool belonging to one simulated
+//! machine. Arming it starts a countdown of pmem operations (reads, writes,
+//! CAS, flushes) across *all* threads; when the countdown reaches zero the
+//! controller trips and every subsequent pmem access panics with a
+//! [`Crashed`] payload. Worker threads run their operation loops under
+//! [`run_crashable`], which converts the panic back into a value, emulating
+//! all threads dying at once in a power failure (thesis §6.1.2).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+
+/// Panic payload used to unwind a thread when the simulated machine loses
+/// power. Carried through `std::panic::panic_any`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Crashed;
+
+/// Shared crash state for one simulated machine.
+///
+/// `armed` holds the remaining number of pmem operations before the crash
+/// trips, or a negative value when disarmed. `crashed` latches once tripped.
+#[derive(Debug)]
+pub struct CrashController {
+    armed: AtomicI64,
+    crashed: AtomicBool,
+}
+
+impl Default for CrashController {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CrashController {
+    /// A controller with no crash scheduled.
+    pub fn new() -> Self {
+        Self {
+            armed: AtomicI64::new(i64::MIN),
+            crashed: AtomicBool::new(false),
+        }
+    }
+
+    /// Schedule a crash to trip after `ops` further pmem operations
+    /// (machine-wide, all threads).
+    pub fn arm_after(&self, ops: u64) {
+        self.crashed.store(false, Ordering::SeqCst);
+        self.armed.store(ops as i64, Ordering::SeqCst);
+    }
+
+    /// Trip the crash immediately.
+    pub fn trip(&self) {
+        self.crashed.store(true, Ordering::SeqCst);
+    }
+
+    /// Cancel any scheduled crash and clear the crashed latch. Called by the
+    /// recovery path after the post-crash state has been captured.
+    pub fn disarm(&self) {
+        self.armed.store(i64::MIN, Ordering::SeqCst);
+        self.crashed.store(false, Ordering::SeqCst);
+    }
+
+    /// Whether the machine has lost power.
+    #[inline]
+    pub fn is_crashed(&self) -> bool {
+        self.crashed.load(Ordering::Relaxed)
+    }
+
+    /// Called by every pmem operation. Decrements the armed countdown and
+    /// panics with [`Crashed`] once the machine has lost power.
+    #[inline]
+    pub fn check(&self) {
+        if self.crashed.load(Ordering::Relaxed) {
+            std::panic::panic_any(Crashed);
+        }
+        // Fast path: disarmed controllers stay hugely negative, so the
+        // decrement below can never wrap them up to zero in practice.
+        if self.armed.load(Ordering::Relaxed) >= 0
+            && self.armed.fetch_sub(1, Ordering::Relaxed) == 0
+        {
+            self.crashed.store(true, Ordering::SeqCst);
+            std::panic::panic_any(Crashed);
+        }
+    }
+}
+
+/// Run `f`, converting a [`Crashed`] panic into `Err(Crashed)`. Any other
+/// panic is resumed unchanged.
+pub fn run_crashable<T>(f: impl FnOnce() -> T) -> Result<T, Crashed> {
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(v) => Ok(v),
+        Err(payload) => {
+            if payload.downcast_ref::<Crashed>().is_some() {
+                Err(Crashed)
+            } else {
+                std::panic::resume_unwind(payload)
+            }
+        }
+    }
+}
+
+/// Install a panic hook that stays silent for [`Crashed`] panics (they are
+/// expected, high-volume events during crash testing) while delegating every
+/// other panic to the previous hook.
+pub fn silence_crash_panics() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<Crashed>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_controller_never_trips() {
+        let c = CrashController::new();
+        for _ in 0..10_000 {
+            c.check();
+        }
+        assert!(!c.is_crashed());
+    }
+
+    #[test]
+    fn armed_controller_trips_after_countdown() {
+        silence_crash_panics();
+        let c = CrashController::new();
+        c.arm_after(5);
+        let r = run_crashable(|| {
+            for i in 0..100 {
+                c.check();
+                assert!(i < 6, "should have crashed by op 6");
+            }
+        });
+        assert_eq!(r, Err(Crashed));
+        assert!(c.is_crashed());
+        // All later accesses crash too.
+        assert_eq!(run_crashable(|| c.check()), Err(Crashed));
+    }
+
+    #[test]
+    fn disarm_clears_latch() {
+        silence_crash_panics();
+        let c = CrashController::new();
+        c.trip();
+        assert_eq!(run_crashable(|| c.check()), Err(Crashed));
+        c.disarm();
+        c.check(); // must not panic
+        assert!(!c.is_crashed());
+    }
+
+    #[test]
+    fn non_crash_panics_propagate() {
+        silence_crash_panics();
+        let r = std::panic::catch_unwind(|| {
+            let _ = run_crashable(|| panic!("regular bug"));
+        });
+        assert!(r.is_err());
+    }
+}

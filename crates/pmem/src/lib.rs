@@ -1,0 +1,70 @@
+//! # pmem — simulated persistent memory substrate
+//!
+//! This crate models the persistent-memory programming environment that
+//! UPSkipList and its baselines run on, replacing Intel Optane DC Persistent
+//! Memory with an in-DRAM simulation that is *adversarial* about persistence:
+//! after a simulated crash, only data the algorithm explicitly persisted (via
+//! [`Pool::flush`] + [`sfence`]) survives.
+//!
+//! ## Model
+//!
+//! A [`Pool`] is a word-addressable region (`u64` words) with two images:
+//!
+//! * the **volatile image** — what concurrent threads read and write, i.e.
+//!   the CPU-cache-plus-memory view during failure-free operation;
+//! * the **persisted image** (in [`PersistenceMode::Tracked`]) — what survives
+//!   a power failure, updated at cache-line (8-word) granularity only when a
+//!   thread issues `flush` (CLWB) followed by [`sfence`] (SFENCE), or when the
+//!   optional *random eviction* mode spontaneously writes a line back, as real
+//!   caches may.
+//!
+//! A simulated crash ([`Pool::simulate_crash`]) discards the volatile image
+//! and reloads it from the persisted image. Crash *injection*
+//! ([`CrashController::arm_after`]) makes every thread panic with a
+//! [`Crashed`] payload at its next pmem access once a countdown of pmem
+//! operations elapses, emulating a power failure striking mid-operation.
+//!
+//! ## NUMA
+//!
+//! Pools carry a [`Placement`] (a home NUMA node, or striped across nodes)
+//! and threads register a NUMA node via [`thread::register`]. When the
+//! [`LatencyModel`] is enabled, remote accesses are charged an extra penalty,
+//! which is what the NUMA-awareness experiments measure.
+
+pub mod crash;
+pub mod latency;
+pub mod pool;
+pub mod stats;
+pub mod thread;
+pub mod topology;
+
+pub use crash::{run_crashable, CrashController, Crashed};
+pub use latency::LatencyModel;
+pub use pool::{discard_pending, sfence, PersistenceMode, Pool, POOL_MAGIC};
+pub use stats::Stats;
+pub use topology::Placement;
+
+/// Number of 8-byte words per simulated cache line (64 bytes).
+pub const CACHE_LINE_WORDS: u64 = 8;
+
+/// Maximum number of registered threads the simulation supports.
+pub const MAX_THREADS: usize = 256;
+
+/// Round a word offset down to the index of its cache line.
+#[inline]
+pub fn line_of(word_off: u64) -> u64 {
+    word_off / CACHE_LINE_WORDS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_of_maps_words_to_lines() {
+        assert_eq!(line_of(0), 0);
+        assert_eq!(line_of(7), 0);
+        assert_eq!(line_of(8), 1);
+        assert_eq!(line_of(63), 7);
+    }
+}

@@ -1,0 +1,559 @@
+//! The simulated persistent memory pool.
+//!
+//! All persistent state in this workspace lives in word-addressable pools.
+//! Data structures never hold Rust references into a pool; they address it
+//! with word offsets (wrapped by `riv::RivPtr` for multi-pool pointers),
+//! which is exactly the position-independence discipline the PMEM
+//! programming model imposes (thesis §4.3.1).
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::crash::CrashController;
+use crate::latency::LatencyModel;
+use crate::stats::Stats;
+use crate::thread;
+use crate::topology::Placement;
+use crate::CACHE_LINE_WORDS;
+
+/// Magic value structures place at word 0 of an initialized pool.
+pub const POOL_MAGIC: u64 = 0x5550_534b_4950_0001; // "UPSKIP" v1
+
+/// How persistence is simulated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PersistenceMode {
+    /// No shadow image: flushes and fences only update stats and charge
+    /// latency. Crashes cannot be simulated. Used by throughput benchmarks.
+    Fast,
+    /// A shadow "persisted image" is maintained at cache-line granularity;
+    /// [`Pool::simulate_crash`] reverts the pool to it. Used by all crash
+    /// and recovery tests.
+    Tracked,
+}
+
+/// Construction parameters for a [`Pool`].
+#[derive(Debug, Clone)]
+pub struct PoolConfig {
+    pub id: u16,
+    pub len_words: u64,
+    pub placement: Placement,
+    pub mode: PersistenceMode,
+    pub latency: LatencyModel,
+    /// In `Tracked` mode, spontaneously persist a written line with
+    /// probability `1/evict_one_in` (0 disables), modelling cache
+    /// write-backs that happen without an explicit flush.
+    pub evict_one_in: u32,
+    /// Maintain the per-pool [`Stats`] counters. They are shared atomics
+    /// (a contended cache line), so throughput benchmarks turn them off.
+    pub collect_stats: bool,
+}
+
+impl PoolConfig {
+    /// A single-node, fast-mode pool — the default for unit tests.
+    pub fn simple(len_words: u64) -> Self {
+        Self {
+            id: 0,
+            len_words,
+            placement: Placement::Node(0),
+            mode: PersistenceMode::Fast,
+            latency: LatencyModel::default(),
+            evict_one_in: 0,
+            collect_stats: true,
+        }
+    }
+
+    /// Like [`PoolConfig::simple`] but with crash tracking enabled.
+    pub fn tracked(len_words: u64) -> Self {
+        Self {
+            mode: PersistenceMode::Tracked,
+            ..Self::simple(len_words)
+        }
+    }
+}
+
+/// A word-addressable simulated PMEM pool.
+pub struct Pool {
+    id: u16,
+    placement: Placement,
+    volatile: Box<[AtomicU64]>,
+    persisted: Option<Box<[AtomicU64]>>,
+    crash: Arc<CrashController>,
+    latency: LatencyModel,
+    latency_enabled: bool,
+    evict_one_in: u32,
+    collect_stats: bool,
+    stats: Stats,
+}
+
+thread_local! {
+    /// CLWB-ed lines awaiting an SFENCE by this thread.
+    static PENDING: RefCell<Vec<(Arc<Pool>, u64)>> = const { RefCell::new(Vec::new()) };
+    /// Cheap per-thread RNG for the random-eviction mode.
+    static EVICT_RNG: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool")
+            .field("id", &self.id)
+            .field("len_words", &self.volatile.len())
+            .field("placement", &self.placement)
+            .field("tracked", &self.persisted.is_some())
+            .finish()
+    }
+}
+
+fn zeroed_words(len: u64) -> Box<[AtomicU64]> {
+    (0..len).map(|_| AtomicU64::new(0)).collect()
+}
+
+impl Pool {
+    /// Create a pool from a config, sharing the given crash controller.
+    pub fn new(cfg: PoolConfig, crash: Arc<CrashController>) -> Arc<Self> {
+        let persisted = match cfg.mode {
+            PersistenceMode::Fast => None,
+            PersistenceMode::Tracked => Some(zeroed_words(cfg.len_words)),
+        };
+        Arc::new(Self {
+            id: cfg.id,
+            placement: cfg.placement,
+            volatile: zeroed_words(cfg.len_words),
+            persisted,
+            crash,
+            latency_enabled: !cfg.latency.is_disabled(),
+            latency: cfg.latency,
+            evict_one_in: cfg.evict_one_in,
+            collect_stats: cfg.collect_stats,
+            stats: Stats::default(),
+        })
+    }
+
+    /// Convenience: a fast-mode pool with its own crash controller.
+    pub fn simple(len_words: u64) -> Arc<Self> {
+        Self::new(
+            PoolConfig::simple(len_words),
+            Arc::new(CrashController::new()),
+        )
+    }
+
+    /// Convenience: a tracked pool with its own crash controller.
+    pub fn tracked(len_words: u64) -> Arc<Self> {
+        Self::new(
+            PoolConfig::tracked(len_words),
+            Arc::new(CrashController::new()),
+        )
+    }
+
+    #[inline]
+    pub fn id(&self) -> u16 {
+        self.id
+    }
+
+    #[inline]
+    pub fn len_words(&self) -> u64 {
+        self.volatile.len() as u64
+    }
+
+    #[inline]
+    pub fn placement(&self) -> Placement {
+        self.placement
+    }
+
+    #[inline]
+    pub fn crash_controller(&self) -> &Arc<CrashController> {
+        &self.crash
+    }
+
+    #[inline]
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    #[inline]
+    pub fn is_tracked(&self) -> bool {
+        self.persisted.is_some()
+    }
+
+    #[inline]
+    fn charge(&self, spins: u32, off: u64) {
+        if self.latency_enabled {
+            let remote = self.placement.owner_node(off) != thread::current().numa_node;
+            self.latency.charge(spins, remote);
+        }
+    }
+
+    #[inline]
+    fn count(&self, counter: &AtomicU64) {
+        if self.collect_stats {
+            Stats::bump(counter);
+        }
+    }
+
+    /// Load the word at `off` (Acquire).
+    #[inline]
+    pub fn read(&self, off: u64) -> u64 {
+        self.crash.check();
+        self.count(&self.stats.reads);
+        self.charge(self.latency.read_spins, off);
+        self.volatile[off as usize].load(Ordering::Acquire)
+    }
+
+    /// Sequential bulk load of `out.len()` words starting at `off`,
+    /// modelling a hardware-prefetched streaming scan: accounting and
+    /// latency are charged per cache line touched, not per word (the
+    /// thesis relies on exactly this for multi-key node scans — §4.4
+    /// "hardware fetching the additional cache lines when a sequential
+    /// scan is detected"). Not atomic as a whole; each word is an Acquire
+    /// load, which is what a real scan gets too.
+    pub fn read_slice(&self, off: u64, out: &mut [u64]) {
+        if out.is_empty() {
+            return;
+        }
+        self.crash.check();
+        let lines = crate::line_of(off + out.len() as u64 - 1) - crate::line_of(off) + 1;
+        for l in 0..lines {
+            self.count(&self.stats.reads);
+            self.charge(self.latency.read_spins, off + l * CACHE_LINE_WORDS);
+        }
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = self.volatile[off as usize + i].load(Ordering::Acquire);
+        }
+    }
+
+    /// Store `value` at `off` (Release).
+    #[inline]
+    pub fn write(&self, off: u64, value: u64) {
+        self.crash.check();
+        self.count(&self.stats.writes);
+        self.charge(self.latency.write_spins, off);
+        self.volatile[off as usize].store(value, Ordering::Release);
+        self.maybe_evict(off);
+    }
+
+    /// Compare-and-swap the word at `off`. Returns `Ok(old)` on success and
+    /// `Err(actual)` on failure, mirroring Function 2 of the thesis.
+    #[inline]
+    pub fn cas(&self, off: u64, old: u64, new: u64) -> Result<u64, u64> {
+        self.crash.check();
+        self.count(&self.stats.cas_ops);
+        self.charge(self.latency.write_spins, off);
+        let r = self.volatile[off as usize].compare_exchange(
+            old,
+            new,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        );
+        if r.is_ok() {
+            self.maybe_evict(off);
+        }
+        r
+    }
+
+    /// Atomic fetch-add on the word at `off`; returns the previous value.
+    #[inline]
+    pub fn fetch_add(&self, off: u64, delta: u64) -> u64 {
+        self.crash.check();
+        self.count(&self.stats.cas_ops);
+        self.charge(self.latency.write_spins, off);
+        let prev = self.volatile[off as usize].fetch_add(delta, Ordering::AcqRel);
+        self.maybe_evict(off);
+        prev
+    }
+
+    /// CLWB: mark the cache line containing `off` for write-back. The line
+    /// is only guaranteed persistent after the issuing thread's next
+    /// [`sfence`].
+    pub fn flush(self: &Arc<Self>, off: u64) {
+        self.crash.check();
+        self.count(&self.stats.flushes);
+        self.charge(self.latency.flush_spins, off);
+        if self.persisted.is_some() {
+            let line = crate::line_of(off);
+            PENDING.with(|p| p.borrow_mut().push((Arc::clone(self), line)));
+        }
+    }
+
+    /// Flush every line overlapping `off .. off + words`.
+    pub fn flush_range(self: &Arc<Self>, off: u64, words: u64) {
+        if words == 0 {
+            return;
+        }
+        let first = crate::line_of(off);
+        let last = crate::line_of(off + words - 1);
+        for line in first..=last {
+            self.flush(line * CACHE_LINE_WORDS);
+        }
+    }
+
+    /// Flush + fence: the `Persist` primitive of Function 1.
+    pub fn persist(self: &Arc<Self>, off: u64, words: u64) {
+        self.flush_range(off, words);
+        self.count(&self.stats.fences);
+        if self.latency_enabled {
+            self.latency.charge(self.latency.fence_spins, false);
+        }
+        sfence();
+    }
+
+    /// Copy one line from the volatile image to the persisted image.
+    fn persist_line_now(&self, line: u64) {
+        let Some(persisted) = &self.persisted else {
+            return;
+        };
+        let base = (line * CACHE_LINE_WORDS) as usize;
+        let end = (base + CACHE_LINE_WORDS as usize).min(self.volatile.len());
+        for w in base..end {
+            persisted[w].store(self.volatile[w].load(Ordering::Acquire), Ordering::Release);
+        }
+    }
+
+    /// Random-eviction mode: spontaneously write back a dirtied line, as a
+    /// real cache may do at any time for any reason.
+    #[inline]
+    fn maybe_evict(&self, off: u64) {
+        if self.evict_one_in == 0 || self.persisted.is_none() {
+            return;
+        }
+        let roll = EVICT_RNG.with(|c| {
+            let mut x = c.get();
+            if x == 0 {
+                // Seed from the thread id so runs differ across threads.
+                x = 0x9e37_79b9_7f4a_7c15 ^ ((thread::current().id as u64 + 1) << 17);
+            }
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            c.set(x);
+            x
+        });
+        if roll.is_multiple_of(self.evict_one_in as u64) {
+            self.persist_line_now(crate::line_of(off));
+        }
+    }
+
+    /// Simulate a power failure: the volatile image is lost and the pool
+    /// restarts from the persisted image. The caller must have quiesced all
+    /// worker threads (they are "dead" after the crash).
+    ///
+    /// # Panics
+    /// Panics if the pool is not in `Tracked` mode.
+    pub fn simulate_crash(&self) {
+        let persisted = self
+            .persisted
+            .as_ref()
+            .expect("simulate_crash requires PersistenceMode::Tracked");
+        for w in 0..self.volatile.len() {
+            self.volatile[w].store(persisted[w].load(Ordering::Acquire), Ordering::Release);
+        }
+    }
+
+    /// Mark the entire volatile image persistent, as after a clean shutdown
+    /// (the kernel flushes dirty lines when unmapping a DAX file, §6.1.2).
+    pub fn mark_all_persisted(&self) {
+        if let Some(persisted) = &self.persisted {
+            for w in 0..self.volatile.len() {
+                persisted[w].store(self.volatile[w].load(Ordering::Acquire), Ordering::Release);
+            }
+        }
+    }
+
+    /// Read a word from the persisted image (test/analysis aid).
+    pub fn read_persisted(&self, off: u64) -> u64 {
+        self.persisted
+            .as_ref()
+            .expect("read_persisted requires PersistenceMode::Tracked")[off as usize]
+            .load(Ordering::Acquire)
+    }
+}
+
+/// SFENCE: commit every line the current thread has flushed since its last
+/// fence to the persisted images of the respective pools.
+pub fn sfence() {
+    PENDING.with(|p| {
+        let mut pending = p.borrow_mut();
+        for (pool, line) in pending.drain(..) {
+            pool.persist_line_now(line);
+        }
+    });
+}
+
+/// Drop the current thread's un-fenced flushes (used when tearing down after
+/// a simulated crash: those write-backs never happened).
+pub fn discard_pending() {
+    PENDING.with(|p| p.borrow_mut().clear());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crash::{run_crashable, silence_crash_panics, Crashed};
+
+    #[test]
+    fn read_write_roundtrip() {
+        let p = Pool::simple(64);
+        p.write(3, 42);
+        assert_eq!(p.read(3), 42);
+        assert_eq!(p.read(4), 0);
+    }
+
+    #[test]
+    fn cas_success_and_failure() {
+        let p = Pool::simple(64);
+        p.write(0, 5);
+        assert_eq!(p.cas(0, 5, 9), Ok(5));
+        assert_eq!(p.cas(0, 5, 11), Err(9));
+        assert_eq!(p.read(0), 9);
+    }
+
+    #[test]
+    fn fetch_add_returns_previous() {
+        let p = Pool::simple(64);
+        assert_eq!(p.fetch_add(0, 3), 0);
+        assert_eq!(p.fetch_add(0, 3), 3);
+        assert_eq!(p.read(0), 6);
+    }
+
+    #[test]
+    fn unflushed_writes_do_not_survive_crash() {
+        let p = Pool::tracked(64);
+        p.write(0, 7);
+        p.simulate_crash();
+        assert_eq!(p.read(0), 0);
+    }
+
+    #[test]
+    fn flushed_and_fenced_writes_survive_crash() {
+        let p = Pool::tracked(64);
+        p.write(0, 7);
+        p.persist(0, 1);
+        p.write(1, 8); // same line, written after the fence: lost
+        p.simulate_crash();
+        assert_eq!(p.read(0), 7);
+        assert_eq!(p.read(1), 0);
+    }
+
+    #[test]
+    fn flush_without_fence_does_not_persist() {
+        let p = Pool::tracked(64);
+        p.write(0, 7);
+        p.flush(0);
+        discard_pending(); // thread died before its SFENCE
+        p.simulate_crash();
+        assert_eq!(p.read(0), 0);
+    }
+
+    #[test]
+    fn flush_persists_whole_line() {
+        let p = Pool::tracked(64);
+        p.write(8, 1);
+        p.write(9, 2);
+        p.write(15, 3);
+        p.persist(9, 1); // one flush in the line persists all 8 words
+        p.simulate_crash();
+        assert_eq!(p.read(8), 1);
+        assert_eq!(p.read(9), 2);
+        assert_eq!(p.read(15), 3);
+    }
+
+    #[test]
+    fn flush_range_covers_line_straddles() {
+        let p = Pool::tracked(64);
+        for w in 6..18 {
+            p.write(w, w + 100);
+        }
+        p.persist(6, 12); // straddles lines 0, 1, 2
+        p.simulate_crash();
+        for w in 6..18 {
+            assert_eq!(p.read(w), w + 100);
+        }
+    }
+
+    #[test]
+    fn mark_all_persisted_acts_as_clean_shutdown() {
+        let p = Pool::tracked(64);
+        p.write(20, 1234);
+        p.mark_all_persisted();
+        p.simulate_crash();
+        assert_eq!(p.read(20), 1234);
+    }
+
+    #[test]
+    fn crash_injection_interrupts_pmem_ops() {
+        silence_crash_panics();
+        let p = Pool::tracked(1024);
+        p.crash_controller().arm_after(10);
+        let r = run_crashable(|| {
+            for i in 0..1000 {
+                p.write(i % 64, i);
+                p.persist(i % 64, 1);
+            }
+        });
+        assert_eq!(r, Err(Crashed));
+        p.crash_controller().disarm();
+        discard_pending();
+        p.simulate_crash();
+        // The pool is usable again after recovery.
+        p.write(0, 1);
+        assert_eq!(p.read(0), 1);
+    }
+
+    #[test]
+    fn random_eviction_persists_some_unflushed_lines() {
+        let mut cfg = PoolConfig::tracked(4096);
+        cfg.evict_one_in = 4;
+        let p = Pool::new(cfg, Arc::new(CrashController::new()));
+        for w in 0..4096u64 {
+            p.write(w, w + 1);
+        }
+        p.simulate_crash();
+        let survived = (0..4096u64).filter(|&w| p.read(w) != 0).count();
+        assert!(survived > 0, "eviction mode should persist some lines");
+        assert!(survived < 4096, "eviction mode must not persist everything");
+    }
+
+    #[test]
+    fn stats_count_operations() {
+        let p = Pool::simple(64);
+        let before = p.stats().snapshot();
+        p.write(0, 1);
+        p.read(0);
+        let _ = p.cas(0, 1, 2);
+        p.persist(0, 1);
+        let d = p.stats().snapshot().since(&before);
+        assert_eq!(d.writes, 1);
+        assert_eq!(d.reads, 1);
+        assert_eq!(d.cas_ops, 1);
+        assert_eq!(d.flushes, 1);
+        assert_eq!(d.fences, 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_access_panics() {
+        let p = Pool::simple(8);
+        p.read(8);
+    }
+
+    #[test]
+    fn concurrent_cas_increments_do_not_lose_updates() {
+        let p = Pool::simple(64);
+        let threads = 8;
+        let per = 1000;
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| {
+                    for _ in 0..per {
+                        loop {
+                            let cur = p.read(0);
+                            if p.cas(0, cur, cur + 1).is_ok() {
+                                break;
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(p.read(0), (threads * per) as u64);
+    }
+}

@@ -1,0 +1,79 @@
+//! Per-pool operation counters.
+//!
+//! The RECIPE authors validated persist ordering by tracking cache-line
+//! flushes (thesis §4.1.1); these counters serve the same role in tests
+//! (asserting that code paths flush what they claim to) and feed the
+//! benchmark reports.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic counters for one pool. All increments are `Relaxed`; the stats
+/// are advisory, not synchronization.
+#[derive(Debug, Default)]
+pub struct Stats {
+    pub reads: AtomicU64,
+    pub writes: AtomicU64,
+    pub cas_ops: AtomicU64,
+    pub flushes: AtomicU64,
+    pub fences: AtomicU64,
+}
+
+/// A point-in-time copy of [`Stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    pub reads: u64,
+    pub writes: u64,
+    pub cas_ops: u64,
+    pub flushes: u64,
+    pub fences: u64,
+}
+
+impl Stats {
+    #[inline]
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copy the current counter values.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            cas_ops: self.cas_ops.load(Ordering::Relaxed),
+            flushes: self.flushes.load(Ordering::Relaxed),
+            fences: self.fences.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl StatsSnapshot {
+    /// Difference since an earlier snapshot.
+    pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            reads: self.reads - earlier.reads,
+            writes: self.writes - earlier.writes,
+            cas_ops: self.cas_ops - earlier.cas_ops,
+            flushes: self.flushes - earlier.flushes,
+            fences: self.fences - earlier.fences,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_diff() {
+        let s = Stats::default();
+        Stats::bump(&s.reads);
+        let a = s.snapshot();
+        Stats::bump(&s.reads);
+        Stats::bump(&s.flushes);
+        let b = s.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.reads, 1);
+        assert_eq!(d.flushes, 1);
+        assert_eq!(d.writes, 0);
+    }
+}

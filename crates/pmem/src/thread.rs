@@ -1,0 +1,75 @@
+//! Registered thread contexts.
+//!
+//! Several parts of the system need a small, dense thread identity:
+//! per-thread allocation logs (thesis §4.1.4), allocator arena selection
+//! (`threadID % numberOfArenas`, Function 4), and the NUMA node a thread runs
+//! on. Threads register explicitly with [`register`]; unregistered threads
+//! are lazily assigned the next free id on NUMA node 0, so casual use (tests,
+//! examples) needs no setup.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::MAX_THREADS;
+
+/// Identity of the current thread within the simulated machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadCtx {
+    /// Dense id in `0..MAX_THREADS`, stable for the thread's lifetime.
+    pub id: usize,
+    /// Simulated NUMA node the thread runs on.
+    pub numa_node: u16,
+}
+
+static NEXT_AUTO_ID: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static CTX: Cell<Option<ThreadCtx>> = const { Cell::new(None) };
+}
+
+/// Register the current thread with an explicit id and NUMA node.
+/// Benchmarks use this so that ids are dense and round-robin across nodes as
+/// in the evaluation setup (§5.1.2).
+///
+/// # Panics
+/// Panics if `id >= MAX_THREADS`.
+pub fn register(id: usize, numa_node: u16) {
+    assert!(id < MAX_THREADS, "thread id {id} exceeds MAX_THREADS");
+    CTX.with(|c| c.set(Some(ThreadCtx { id, numa_node })));
+}
+
+/// The current thread's context, auto-registering on first use.
+pub fn current() -> ThreadCtx {
+    CTX.with(|c| match c.get() {
+        Some(ctx) => ctx,
+        None => {
+            let id = NEXT_AUTO_ID.fetch_add(1, Ordering::Relaxed) % MAX_THREADS;
+            let ctx = ThreadCtx { id, numa_node: 0 };
+            c.set(Some(ctx));
+            ctx
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_registration_wins() {
+        register(7, 2);
+        let ctx = current();
+        assert_eq!(ctx.id, 7);
+        assert_eq!(ctx.numa_node, 2);
+        // Re-registration overwrites.
+        register(9, 1);
+        assert_eq!(current().id, 9);
+    }
+
+    #[test]
+    fn auto_registration_assigns_distinct_ids() {
+        let a = std::thread::spawn(|| current().id).join().unwrap();
+        let b = std::thread::spawn(|| current().id).join().unwrap();
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,62 @@
+//! Simulated NUMA topology: where a pool's lines physically live.
+//!
+//! The evaluation compares two deployments (thesis §5.2.3):
+//!
+//! * **one pool per NUMA node** ([`Placement::Node`]) — the extended-RIV,
+//!   NUMA-aware mode, where the structure knows which node each object is on;
+//! * **a single pool striped across all nodes** ([`Placement::Striped`]) —
+//!   like an interleaved `pmem` device with a 2 MB stripe, where locality is
+//!   whatever the stripe pattern happens to give.
+
+/// Where the words of a pool live, for the purpose of charging remote-access
+/// latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// The whole pool lives on one NUMA node.
+    Node(u16),
+    /// The pool is striped round-robin across `nodes` NUMA nodes with a
+    /// stripe of `stripe_words` words (the thesis uses 2 MB stripes).
+    Striped { nodes: u16, stripe_words: u64 },
+}
+
+impl Placement {
+    /// The NUMA node owning the given word offset.
+    #[inline]
+    pub fn owner_node(&self, word_off: u64) -> u16 {
+        match *self {
+            Placement::Node(n) => n,
+            Placement::Striped {
+                nodes,
+                stripe_words,
+            } => {
+                debug_assert!(nodes > 0 && stripe_words > 0);
+                ((word_off / stripe_words) % nodes as u64) as u16
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_placement_owns_everything() {
+        let p = Placement::Node(3);
+        assert_eq!(p.owner_node(0), 3);
+        assert_eq!(p.owner_node(u64::MAX / 2), 3);
+    }
+
+    #[test]
+    fn striped_placement_round_robins() {
+        let p = Placement::Striped {
+            nodes: 4,
+            stripe_words: 10,
+        };
+        assert_eq!(p.owner_node(0), 0);
+        assert_eq!(p.owner_node(9), 0);
+        assert_eq!(p.owner_node(10), 1);
+        assert_eq!(p.owner_node(39), 3);
+        assert_eq!(p.owner_node(40), 0);
+    }
+}

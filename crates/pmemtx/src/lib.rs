@@ -1,0 +1,480 @@
+//! # pmemtx — a libpmemobj-style transactional object store
+//!
+//! Models the PMDK's `libpmemobj` (thesis §3.1): recoverability through
+//! **undo-log transactions**. Before a word is first modified inside a
+//! transaction, its old value is copied to a persistent per-thread undo log
+//! (the PMDK's "copy prior to modification" write amplification); commit
+//! persists the modified words and retires the log; a crash with an active
+//! transaction is recovered by applying the undo entries.
+//!
+//! As with the real library, transactions do not isolate readers — users
+//! that are also concurrent must add their own synchronization (the
+//! lock-based baseline skip list holds per-node locks while writing).
+//!
+//! Allocation is transactional: objects allocated inside a transaction that
+//! does not commit are returned to a free list during recovery, mirroring
+//! `pmemobj_tx_alloc`.
+
+use std::sync::Arc;
+
+use pmem::{Pool, MAX_THREADS};
+
+/// Undo-log capacity (words that one transaction may modify).
+pub const TX_CAP: usize = 512;
+/// Allocation records one transaction may hold.
+pub const TX_ALLOC_CAP: usize = 16;
+
+const ST_NONE: u64 = 0;
+const ST_ACTIVE: u64 = 1;
+const ST_COMMITTED: u64 = 2;
+
+// Per-thread transaction slot layout (word offsets within the slot).
+const T_STATE: u64 = 0;
+const T_COUNT: u64 = 1;
+const T_ALLOC_COUNT: u64 = 2;
+const T_ALLOCS: u64 = 8; // TX_ALLOC_CAP × 2 words (off, words)
+const T_ENTRIES: u64 = T_ALLOCS + 2 * TX_ALLOC_CAP as u64; // TX_CAP × 2 words
+const SLOT_WORDS: u64 = T_ENTRIES + 2 * TX_CAP as u64;
+
+// Heap metadata (at `meta_off`).
+const H_BUMP: u64 = 0;
+const H_FREE: u64 = 1;
+
+/// The transactional heap over one pool.
+pub struct TxHeap {
+    pool: Arc<Pool>,
+    meta_off: u64,
+    tx_off: u64,
+    data_off: u64,
+}
+
+impl std::fmt::Debug for TxHeap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TxHeap")
+            .field("data_off", &self.data_off)
+            .finish()
+    }
+}
+
+/// An open transaction. Obtain with [`TxHeap::begin`]; every modification
+/// goes through [`Tx::set`]; call [`Tx::commit`]. Dropping without commit
+/// aborts (restores the old values), as with `TX_ONABORT`.
+pub struct Tx<'h> {
+    heap: &'h TxHeap,
+    slot: u64,
+    logged: Vec<u64>,
+    frees: Vec<u64>,
+    committed: bool,
+}
+
+impl TxHeap {
+    /// Words of overhead before the data region.
+    pub fn overhead_words(root_words: u64) -> u64 {
+        root_words + 8 + MAX_THREADS as u64 * SLOT_WORDS
+    }
+
+    /// Bind to a pool, reserving `root_words` for the client root.
+    pub fn new(pool: Arc<Pool>, root_words: u64) -> Self {
+        let meta_off = root_words;
+        let tx_off = meta_off + 8;
+        let data_off = tx_off + MAX_THREADS as u64 * SLOT_WORDS;
+        Self {
+            pool,
+            meta_off,
+            tx_off,
+            data_off,
+        }
+    }
+
+    /// One-time initialization of a fresh pool.
+    pub fn format(&self) {
+        self.pool.write(self.meta_off + H_BUMP, self.data_off);
+        self.pool.write(self.meta_off + H_FREE, 0);
+        let pool = Arc::clone(&self.pool);
+        pool.persist(self.meta_off, 2);
+        for t in 0..MAX_THREADS {
+            let slot = self.slot_of(t);
+            self.pool.write(slot + T_STATE, ST_NONE);
+            pool.persist(slot + T_STATE, 1);
+        }
+    }
+
+    #[inline]
+    pub fn pool(&self) -> &Arc<Pool> {
+        &self.pool
+    }
+
+    #[inline]
+    fn slot_of(&self, thread: usize) -> u64 {
+        self.tx_off + thread as u64 * SLOT_WORDS
+    }
+
+    /// Begin a transaction in the calling thread's slot.
+    pub fn begin(&self) -> Tx<'_> {
+        let slot = self.slot_of(pmem::thread::current().id);
+        debug_assert_eq!(
+            self.pool.read(slot + T_STATE),
+            ST_NONE,
+            "nested transactions unsupported"
+        );
+        self.pool.write(slot + T_COUNT, 0);
+        self.pool.write(slot + T_ALLOC_COUNT, 0);
+        self.pool.write(slot + T_STATE, ST_ACTIVE);
+        let pool = Arc::clone(&self.pool);
+        pool.persist(slot + T_STATE, 3);
+        Tx {
+            heap: self,
+            slot,
+            logged: Vec::new(),
+            frees: Vec::new(),
+            committed: false,
+        }
+    }
+
+    /// Plain (non-transactional, non-helping) read.
+    #[inline]
+    pub fn read(&self, addr: u64) -> u64 {
+        self.pool.read(addr)
+    }
+
+    /// Roll back every active transaction and reclaim uncommitted
+    /// allocations; returns the number of transactions rolled back
+    /// (bounded by the thread count, hence the PMDK-like small recovery
+    /// time in Table 5.4).
+    pub fn recover(&self) -> usize {
+        let mut rolled_back = 0;
+        for t in 0..MAX_THREADS {
+            let slot = self.slot_of(t);
+            let state = self.pool.read(slot + T_STATE);
+            if state == ST_ACTIVE {
+                rolled_back += 1;
+                // Undo in reverse order.
+                let count = (self.pool.read(slot + T_COUNT) as usize).min(TX_CAP);
+                for i in (0..count).rev() {
+                    let e = slot + T_ENTRIES + 2 * i as u64;
+                    let addr = self.pool.read(e);
+                    let old = self.pool.read(e + 1);
+                    self.pool.write(addr, old);
+                    Arc::clone(&self.pool).persist(addr, 1);
+                }
+                // Return uncommitted allocations.
+                let allocs = (self.pool.read(slot + T_ALLOC_COUNT) as usize).min(TX_ALLOC_CAP);
+                for i in 0..allocs {
+                    let a = slot + T_ALLOCS + 2 * i as u64;
+                    let off = self.pool.read(a);
+                    if off != 0 {
+                        self.free_raw(off);
+                    }
+                }
+            }
+            if state != ST_NONE {
+                self.pool.write(slot + T_STATE, ST_NONE);
+                Arc::clone(&self.pool).persist(slot + T_STATE, 1);
+            }
+        }
+        rolled_back
+    }
+
+    /// Push an object (with its size header at `off - 1`) onto the free
+    /// list.
+    fn free_raw(&self, off: u64) {
+        let head_addr = self.meta_off + H_FREE;
+        loop {
+            let head = self.pool.read(head_addr);
+            self.pool.write(off, head);
+            Arc::clone(&self.pool).persist(off, 1);
+            if self.pool.cas(head_addr, head, off).is_ok() {
+                Arc::clone(&self.pool).persist(head_addr, 1);
+                return;
+            }
+        }
+    }
+
+    /// Allocate raw words (header included) from the free list (exact-size
+    /// head match only — sufficient for the fixed-size nodes the baseline
+    /// allocates) or the bump pointer.
+    fn alloc_raw(&self, words: u64) -> u64 {
+        let head_addr = self.meta_off + H_FREE;
+        loop {
+            let head = self.pool.read(head_addr);
+            if head != 0 && self.pool.read(head - 1) == words {
+                let next = self.pool.read(head);
+                if self.pool.cas(head_addr, head, next).is_ok() {
+                    Arc::clone(&self.pool).persist(head_addr, 1);
+                    return head;
+                }
+                continue;
+            }
+            break;
+        }
+        let bump = self.meta_off + H_BUMP;
+        loop {
+            let cur = self.pool.read(bump);
+            let obj = cur + 1; // one header word
+            assert!(
+                cur + 1 + words <= self.pool.len_words(),
+                "pmemtx heap exhausted"
+            );
+            if self.pool.cas(bump, cur, cur + 1 + words).is_ok() {
+                Arc::clone(&self.pool).persist(bump, 1);
+                self.pool.write(obj - 1, words);
+                Arc::clone(&self.pool).persist(obj - 1, 1);
+                return obj;
+            }
+        }
+    }
+}
+
+impl<'h> Tx<'h> {
+    /// Transactionally set a word: logs the old value (persisted before
+    /// the in-place write, as libpmemobj does) and writes the new one.
+    pub fn set(&mut self, addr: u64, value: u64) {
+        if !self.logged.contains(&addr) {
+            let count = self.heap.pool.read(self.slot + T_COUNT);
+            assert!((count as usize) < TX_CAP, "undo log full");
+            let e = self.slot + T_ENTRIES + 2 * count;
+            self.heap.pool.write(e, addr);
+            self.heap.pool.write(e + 1, self.heap.pool.read(addr));
+            Arc::clone(&self.heap.pool).persist(e, 2);
+            self.heap.pool.write(self.slot + T_COUNT, count + 1);
+            Arc::clone(&self.heap.pool).persist(self.slot + T_COUNT, 1);
+            self.logged.push(addr);
+        }
+        self.heap.pool.write(addr, value);
+    }
+
+    /// Read through the transaction (no isolation; plain read).
+    #[inline]
+    pub fn get(&self, addr: u64) -> u64 {
+        self.heap.pool.read(addr)
+    }
+
+    /// Transactionally allocate `words` words; returns the object offset.
+    /// Rolled back (freed) if the transaction does not commit.
+    pub fn alloc(&mut self, words: u64) -> u64 {
+        let obj = self.heap.alloc_raw(words);
+        let n = self.heap.pool.read(self.slot + T_ALLOC_COUNT);
+        assert!((n as usize) < TX_ALLOC_CAP, "allocation log full");
+        let a = self.slot + T_ALLOCS + 2 * n;
+        self.heap.pool.write(a, obj);
+        self.heap.pool.write(a + 1, words);
+        Arc::clone(&self.heap.pool).persist(a, 2);
+        self.heap.pool.write(self.slot + T_ALLOC_COUNT, n + 1);
+        Arc::clone(&self.heap.pool).persist(self.slot + T_ALLOC_COUNT, 1);
+        obj
+    }
+
+    /// Transactionally free an object. The free is applied at commit; a
+    /// rolled-back transaction leaves the object live, as with
+    /// `pmemobj_tx_free`. (The pending list is volatile: a crash before
+    /// commit means the frees simply never happened, which is correct for
+    /// undo-log semantics.)
+    pub fn free(&mut self, obj: u64) {
+        self.frees.push(obj);
+    }
+
+    /// Persist modified words, mark committed, retire the log.
+    pub fn commit(mut self) {
+        let pool = Arc::clone(&self.heap.pool);
+        for &addr in &self.logged {
+            pool.persist(addr, 1);
+        }
+        self.heap.pool.write(self.slot + T_STATE, ST_COMMITTED);
+        pool.persist(self.slot + T_STATE, 1);
+        for obj in std::mem::take(&mut self.frees) {
+            self.heap.free_raw(obj);
+        }
+        self.heap.pool.write(self.slot + T_STATE, ST_NONE);
+        pool.persist(self.slot + T_STATE, 1);
+        self.committed = true;
+    }
+}
+
+impl<'h> Drop for Tx<'h> {
+    fn drop(&mut self) {
+        if self.committed {
+            return;
+        }
+        if self.heap.pool.crash_controller().is_crashed() {
+            // The machine lost power mid-transaction: this drop is part of
+            // the crash unwind, the "thread" is dead, and touching pmem
+            // would panic again inside a destructor. Recovery rolls the
+            // transaction back from its persistent log instead.
+            return;
+        }
+        // Abort: restore old values in reverse, free allocations.
+        let count = (self.heap.pool.read(self.slot + T_COUNT) as usize).min(TX_CAP);
+        for i in (0..count).rev() {
+            let e = self.slot + T_ENTRIES + 2 * i as u64;
+            let addr = self.heap.pool.read(e);
+            let old = self.heap.pool.read(e + 1);
+            self.heap.pool.write(addr, old);
+            Arc::clone(&self.heap.pool).persist(addr, 1);
+        }
+        let allocs = (self.heap.pool.read(self.slot + T_ALLOC_COUNT) as usize).min(TX_ALLOC_CAP);
+        for i in 0..allocs {
+            let a = self.slot + T_ALLOCS + 2 * i as u64;
+            let off = self.heap.pool.read(a);
+            if off != 0 {
+                self.heap.free_raw(off);
+            }
+        }
+        self.heap.pool.write(self.slot + T_STATE, ST_NONE);
+        Arc::clone(&self.heap.pool).persist(self.slot + T_STATE, 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmem::crash::silence_crash_panics;
+    use pmem::run_crashable;
+
+    fn heap(tracked: bool) -> TxHeap {
+        let words = TxHeap::overhead_words(64) + (1 << 16);
+        let pool = if tracked {
+            Pool::tracked(words)
+        } else {
+            Pool::simple(words)
+        };
+        let h = TxHeap::new(pool, 64);
+        h.format();
+        h
+    }
+
+    #[test]
+    fn committed_tx_applies_values() {
+        let h = heap(false);
+        let mut tx = h.begin();
+        let obj = tx.alloc(8);
+        tx.set(obj, 11);
+        tx.set(obj + 1, 22);
+        tx.commit();
+        assert_eq!(h.read(obj), 11);
+        assert_eq!(h.read(obj + 1), 22);
+    }
+
+    #[test]
+    fn dropped_tx_rolls_back() {
+        let h = heap(false);
+        let mut tx = h.begin();
+        let obj = tx.alloc(8);
+        tx.set(obj, 11);
+        tx.commit();
+        {
+            let mut tx2 = h.begin();
+            tx2.set(obj, 99);
+            assert_eq!(h.read(obj), 99, "in-place write visible before commit");
+            // dropped: abort
+        }
+        assert_eq!(h.read(obj), 11, "abort must restore the old value");
+    }
+
+    #[test]
+    fn free_list_recycles_objects() {
+        let h = heap(false);
+        let mut tx = h.begin();
+        let a = tx.alloc(16);
+        tx.commit();
+        let mut tx = h.begin();
+        tx.free(a);
+        tx.commit();
+        let mut tx = h.begin();
+        let b = tx.alloc(16);
+        tx.commit();
+        assert_eq!(a, b, "freed object must be reused for equal-size alloc");
+    }
+
+    #[test]
+    fn crash_with_active_tx_rolls_back_on_recovery() {
+        silence_crash_panics();
+        let h = heap(true);
+        let mut tx = h.begin();
+        let obj = tx.alloc(8);
+        tx.set(obj, 7);
+        tx.commit();
+        h.pool().mark_all_persisted();
+        h.pool().crash_controller().arm_after(6);
+        let r = run_crashable(|| {
+            let mut tx = h.begin();
+            tx.set(obj, 1000);
+            tx.set(obj + 1, 2000);
+            tx.commit();
+        });
+        h.pool().crash_controller().disarm();
+        pmem::discard_pending();
+        if r.is_err() {
+            h.pool().simulate_crash();
+            let rolled = h.recover();
+            assert!(rolled <= 1);
+            let v = h.read(obj);
+            assert!(v == 7 || v == 1000, "must be old or fully new, got {v}");
+        }
+    }
+
+    #[test]
+    fn crash_sweep_is_always_atomic() {
+        silence_crash_panics();
+        let mut outcomes = [0u32; 2];
+        for ops in 1..60 {
+            let h = heap(true);
+            let mut tx = h.begin();
+            let obj = tx.alloc(4);
+            tx.set(obj, 1);
+            tx.set(obj + 1, 1);
+            tx.commit();
+            h.pool().mark_all_persisted();
+            h.pool().crash_controller().arm_after(ops);
+            let _ = run_crashable(|| {
+                let mut tx = h.begin();
+                tx.set(obj, 2);
+                tx.set(obj + 1, 2);
+                tx.commit();
+            });
+            h.pool().crash_controller().disarm();
+            pmem::discard_pending();
+            h.pool().simulate_crash();
+            h.recover();
+            let (a, b) = (h.read(obj), h.read(obj + 1));
+            assert!(
+                (a, b) == (1, 1) || (a, b) == (2, 2),
+                "torn transaction after crash at op {ops}: ({a}, {b})"
+            );
+            outcomes[if (a, b) == (1, 1) { 0 } else { 1 }] += 1;
+        }
+        assert!(
+            outcomes[0] > 0 && outcomes[1] > 0,
+            "sweep should hit both outcomes: {outcomes:?}"
+        );
+    }
+
+    #[test]
+    fn uncommitted_alloc_is_reclaimed_by_recovery() {
+        silence_crash_panics();
+        let h = heap(true);
+        h.pool().mark_all_persisted();
+        h.pool().crash_controller().arm_after(500); // far enough for alloc to complete
+        let _ = run_crashable(|| {
+            let mut tx = h.begin();
+            let obj = tx.alloc(8);
+            tx.set(obj, 5);
+            loop {
+                // Spin until the crash fires so the tx never commits.
+                h.read(obj);
+            }
+        });
+        h.pool().crash_controller().disarm();
+        pmem::discard_pending();
+        h.pool().simulate_crash();
+        h.recover();
+        // The allocation must be back on the free list: a fresh alloc of
+        // the same size reuses it.
+        let mut tx = h.begin();
+        let again = tx.alloc(8);
+        tx.commit();
+        let mut tx = h.begin();
+        let other = tx.alloc(8);
+        tx.commit();
+        assert!(again < other, "recovered object should be recycled first");
+    }
+}

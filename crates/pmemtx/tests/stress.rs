@@ -1,0 +1,124 @@
+//! Concurrency and crash-sweep tests for the transactional store.
+
+use std::sync::Arc;
+
+use pmem::{run_crashable, Pool};
+use pmemtx::TxHeap;
+
+fn heap(tracked: bool) -> TxHeap {
+    let words = TxHeap::overhead_words(64) + (1 << 18);
+    let pool = if tracked {
+        Pool::tracked(words)
+    } else {
+        Pool::simple(words)
+    };
+    let h = TxHeap::new(pool, 64);
+    h.format();
+    h
+}
+
+#[test]
+fn concurrent_disjoint_transactions_commit_independently() {
+    let h = Arc::new(heap(false));
+    // Pre-allocate one object per thread.
+    let objs: Vec<u64> = (0..8)
+        .map(|_| {
+            let mut tx = h.begin();
+            let o = tx.alloc(16);
+            tx.commit();
+            o
+        })
+        .collect();
+    std::thread::scope(|s| {
+        for (t, &obj) in objs.iter().enumerate() {
+            let h = Arc::clone(&h);
+            s.spawn(move || {
+                pmem::thread::register(t, 0);
+                for i in 0..200u64 {
+                    let mut tx = h.begin();
+                    tx.set(obj, i);
+                    tx.set(obj + 1, i * 2);
+                    tx.commit();
+                }
+            });
+        }
+    });
+    for &obj in &objs {
+        assert_eq!(h.read(obj), 199);
+        assert_eq!(h.read(obj + 1), 398);
+    }
+}
+
+#[test]
+fn multithreaded_crash_rolls_back_only_active_transactions() {
+    pmem::crash::silence_crash_panics();
+    for trial in 0..8u64 {
+        let h = Arc::new(heap(true));
+        let objs: Vec<u64> = (0..4)
+            .map(|_| {
+                let mut tx = h.begin();
+                let o = tx.alloc(8);
+                tx.set(o, 0);
+                tx.set(o + 1, 0);
+                tx.commit();
+                o
+            })
+            .collect();
+        h.pool().mark_all_persisted();
+        h.pool().crash_controller().arm_after(2_000 + trial * 733);
+        std::thread::scope(|s| {
+            for (t, &obj) in objs.iter().enumerate() {
+                let h = Arc::clone(&h);
+                s.spawn(move || {
+                    pmem::thread::register(t, 0);
+                    let _ = run_crashable(|| {
+                        for i in 1.. {
+                            let mut tx = h.begin();
+                            tx.set(obj, i);
+                            tx.set(obj + 1, i);
+                            tx.commit();
+                        }
+                    });
+                    pmem::discard_pending();
+                });
+            }
+        });
+        h.pool().crash_controller().disarm();
+        h.pool().simulate_crash();
+        let rolled = h.recover();
+        assert!(rolled <= 4, "at most one active tx per thread");
+        for &obj in &objs {
+            assert_eq!(
+                h.read(obj),
+                h.read(obj + 1),
+                "trial {trial}: transaction atomicity violated at {obj}"
+            );
+        }
+    }
+}
+
+#[test]
+fn undo_log_capacity_is_enforced() {
+    let h = heap(false);
+    let mut tx = h.begin();
+    let obj = tx.alloc(pmemtx::TX_CAP as u64 + 8);
+    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        for i in 0..pmemtx::TX_CAP as u64 + 1 {
+            tx.set(obj + i, i);
+        }
+    }));
+    assert!(r.is_err(), "exceeding the undo log must be detected");
+    std::mem::forget(tx); // its slot is poisoned by the panic; do not drop
+}
+
+#[test]
+fn values_written_in_tx_visible_before_commit_as_documented() {
+    // libpmemobj transactions do not isolate readers; concurrent users
+    // must lock (thesis §3.1). Verify the documented visibility.
+    let h = heap(false);
+    let mut tx = h.begin();
+    let obj = tx.alloc(4);
+    tx.set(obj, 123);
+    assert_eq!(h.read(obj), 123, "in-place writes are visible pre-commit");
+    tx.commit();
+}

@@ -1,0 +1,484 @@
+//! # pmwcas — persistent multi-word compare-and-swap
+//!
+//! Reimplementation of Wang et al.'s PMwCAS primitive (thesis §3.1), the
+//! substrate BzTree builds on. An operation atomically (and recoverably)
+//! changes up to [`MAX_ENTRIES`] words if they all hold expected values:
+//!
+//! 1. a *descriptor* recording `(addr, old, new)` per target is persisted;
+//! 2. **phase 1** installs a marked pointer to the descriptor into every
+//!    target with CAS, in address order; any thread reading a marked word
+//!    helps the operation along before retrying its own;
+//! 3. the outcome is decided by a CAS on the descriptor's status word;
+//! 4. **phase 2** replaces the marked pointers with the new values (on
+//!    success) or the old values (on failure), tagged with a *dirty bit*
+//!    that readers flush-and-clear so no value is consumed before it is
+//!    persistent.
+//!
+//! Crash recovery scans the whole descriptor pool sequentially, rolling
+//! back undecided operations and completing decided ones — which is why
+//! BzTree's recovery time grows with the descriptor pool size (Table 5.4).
+//!
+//! Descriptors are recycled through a volatile free list; each carries a
+//! persistent sequence number embedded in the marked pointer, so a stale
+//! pointer to a recycled descriptor is detected instead of mis-helped.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use pmem::Pool;
+
+/// Maximum words per operation.
+pub const MAX_ENTRIES: usize = 4;
+
+/// Dirty bit: the word's value has not been proven persistent yet.
+pub const DIRTY: u64 = 1 << 63;
+/// Descriptor marker: the word currently holds a descriptor pointer.
+pub const DESC: u64 = 1 << 62;
+/// Mask of bits available to stored values.
+pub const VALUE_MASK: u64 = DESC - 1;
+
+const ST_FREE: u64 = 0;
+const ST_UNDECIDED: u64 = 1;
+const ST_SUCCEEDED: u64 = 2;
+const ST_FAILED: u64 = 3;
+
+/// Words per descriptor: status, seq, count, pad, then 3 per entry.
+pub const DESC_WORDS: u64 = 4 + 3 * MAX_ENTRIES as u64;
+
+const D_STATUS: u64 = 0;
+const D_SEQ: u64 = 1;
+const D_COUNT: u64 = 2;
+
+#[inline]
+fn entry_off(i: usize) -> u64 {
+    4 + 3 * i as u64
+}
+
+/// Statistics from a recovery pass.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryStats {
+    pub descriptors_scanned: u64,
+    pub rolled_back: u64,
+    pub rolled_forward: u64,
+}
+
+/// A descriptor pool bound to one region of one PMEM pool.
+pub struct DescriptorPool {
+    pool: Arc<Pool>,
+    base: u64,
+    count: usize,
+    /// Volatile Treiber stack of free descriptor indices.
+    free_head: AtomicU64, // (index + 1), 0 = empty
+    free_next: Box<[AtomicU64]>,
+}
+
+impl std::fmt::Debug for DescriptorPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DescriptorPool")
+            .field("base", &self.base)
+            .field("count", &self.count)
+            .finish()
+    }
+}
+
+impl DescriptorPool {
+    /// Words required for `count` descriptors.
+    pub const fn region_words(count: usize) -> u64 {
+        count as u64 * DESC_WORDS
+    }
+
+    /// Bind to a (fresh or recovered) region. Call [`DescriptorPool::recover`]
+    /// before use when reconnecting after a crash.
+    pub fn new(pool: Arc<Pool>, base: u64, count: usize) -> Self {
+        assert!(count >= 1);
+        let free_next = (0..count).map(|_| AtomicU64::new(0)).collect();
+        let dp = Self {
+            pool,
+            base,
+            count,
+            free_head: AtomicU64::new(0),
+            free_next,
+        };
+        dp.rebuild_free_list();
+        dp
+    }
+
+    /// The underlying pool (for harnesses that need direct word access).
+    #[inline]
+    pub fn pool(&self) -> &Arc<Pool> {
+        &self.pool
+    }
+
+    #[inline]
+    fn dword(&self, idx: u32, field: u64) -> u64 {
+        self.base + idx as u64 * DESC_WORDS + field
+    }
+
+    #[inline]
+    fn desc_ptr(&self, idx: u32, seq: u64) -> u64 {
+        DESC | ((seq & 0x3fff_ffff) << 24) | idx as u64
+    }
+
+    #[inline]
+    fn parse_desc(&self, v: u64) -> (u32, u64) {
+        ((v & 0xff_ffff) as u32, (v >> 24) & 0x3fff_ffff)
+    }
+
+    fn rebuild_free_list(&self) {
+        self.free_head.store(0, Ordering::SeqCst);
+        for idx in (0..self.count as u32).rev() {
+            if self.pool.read(self.dword(idx, D_STATUS)) == ST_FREE {
+                self.push_free(idx);
+            }
+        }
+    }
+
+    fn push_free(&self, idx: u32) {
+        loop {
+            let head = self.free_head.load(Ordering::Acquire);
+            self.free_next[idx as usize].store(head, Ordering::Release);
+            if self
+                .free_head
+                .compare_exchange(head, idx as u64 + 1, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                return;
+            }
+        }
+    }
+
+    fn pop_free(&self) -> Option<u32> {
+        loop {
+            let head = self.free_head.load(Ordering::Acquire);
+            if head == 0 {
+                return None;
+            }
+            let idx = (head - 1) as u32;
+            let next = self.free_next[idx as usize].load(Ordering::Acquire);
+            if self
+                .free_head
+                .compare_exchange(head, next, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                return Some(idx);
+            }
+        }
+    }
+
+    /// Read a word, helping any in-flight PMwCAS and flushing any dirty
+    /// value before returning it.
+    pub fn read(&self, addr: u64) -> u64 {
+        loop {
+            let v = self.pool.read(addr);
+            if v & DESC != 0 {
+                self.help(v, 0);
+                continue;
+            }
+            if v & DIRTY != 0 {
+                // Persist before use so no thread depends on a value that a
+                // power failure could revoke.
+                self.pool.persist(addr, 1);
+                let _ = self.pool.cas(addr, v, v & !DIRTY);
+                continue;
+            }
+            return v;
+        }
+    }
+
+    /// Atomically change every `(addr, old, new)` triple, or none.
+    /// Values must fit in [`VALUE_MASK`].
+    pub fn pmwcas(&self, entries: &[(u64, u64, u64)]) -> bool {
+        assert!(!entries.is_empty() && entries.len() <= MAX_ENTRIES);
+        for &(_, old, new) in entries {
+            assert!(
+                old & !VALUE_MASK == 0 && new & !VALUE_MASK == 0,
+                "values must leave bits 62–63 clear"
+            );
+        }
+        let mut sorted: Vec<(u64, u64, u64)> = entries.to_vec();
+        sorted.sort_unstable_by_key(|e| e.0); // address order prevents livelock
+        let idx = loop {
+            match self.pop_free() {
+                Some(i) => break i,
+                None => std::thread::yield_now(), // pool exhausted: wait for recycling
+            }
+        };
+        let seq = self.pool.read(self.dword(idx, D_SEQ));
+        // Write and persist the descriptor before any pointer is installed.
+        self.pool
+            .write(self.dword(idx, D_COUNT), sorted.len() as u64);
+        for (i, &(addr, old, new)) in sorted.iter().enumerate() {
+            let e = self.dword(idx, entry_off(i));
+            self.pool.write(e, addr);
+            self.pool.write(e + 1, old);
+            self.pool.write(e + 2, new);
+        }
+        self.pool.write(self.dword(idx, D_STATUS), ST_UNDECIDED);
+        self.pool.persist(self.dword(idx, 0), DESC_WORDS);
+        let ptr = self.desc_ptr(idx, seq);
+        let ok = self.run_phases(idx, seq, ptr);
+        // Retire: bump the sequence so stale pointers are detectable, then
+        // recycle.
+        self.pool.write(self.dword(idx, D_SEQ), seq.wrapping_add(1));
+        self.pool.write(self.dword(idx, D_STATUS), ST_FREE);
+        self.pool.persist(self.dword(idx, D_STATUS), 2);
+        self.push_free(idx);
+        ok
+    }
+
+    /// Phases 1–2 for the descriptor's owner; also used by helpers.
+    fn run_phases(&self, idx: u32, _seq: u64, ptr: u64) -> bool {
+        let count = self.pool.read(self.dword(idx, D_COUNT)) as usize;
+        let mut status = self.pool.read(self.dword(idx, D_STATUS));
+        if status == ST_UNDECIDED {
+            let mut success = true;
+            'install: for i in 0..count {
+                let e = self.dword(idx, entry_off(i));
+                let addr = self.pool.read(e);
+                let old = self.pool.read(e + 1);
+                loop {
+                    match self.pool.cas(addr, old, ptr) {
+                        Ok(_) => {
+                            self.pool.persist(addr, 1);
+                            break;
+                        }
+                        Err(cur) if cur == ptr => break, // a helper installed it
+                        Err(cur) if cur & DESC != 0 => {
+                            self.help(cur, 1);
+                            continue;
+                        }
+                        Err(cur) if cur & DIRTY != 0 => {
+                            self.pool.persist(addr, 1);
+                            let _ = self.pool.cas(addr, cur, cur & !DIRTY);
+                            continue;
+                        }
+                        Err(_) => {
+                            success = false;
+                            break 'install;
+                        }
+                    }
+                }
+            }
+            let decided = if success { ST_SUCCEEDED } else { ST_FAILED };
+            let _ = self
+                .pool
+                .cas(self.dword(idx, D_STATUS), ST_UNDECIDED, decided);
+            self.pool.persist(self.dword(idx, D_STATUS), 1);
+            status = self.pool.read(self.dword(idx, D_STATUS));
+        }
+        let succeeded = status == ST_SUCCEEDED;
+        for i in 0..count {
+            let e = self.dword(idx, entry_off(i));
+            let addr = self.pool.read(e);
+            let old = self.pool.read(e + 1);
+            let new = self.pool.read(e + 2);
+            let fin = if succeeded { new | DIRTY } else { old };
+            if self.pool.cas(addr, ptr, fin).is_ok() {
+                self.pool.persist(addr, 1);
+                let _ = self.pool.cas(addr, fin, fin & !DIRTY);
+            }
+        }
+        succeeded
+    }
+
+    /// Help an operation whose marked pointer was observed in a word.
+    fn help(&self, observed: u64, depth: usize) {
+        if depth > 8 {
+            return; // bounded helping; the owner will finish
+        }
+        let (idx, seq) = self.parse_desc(observed);
+        if idx as usize >= self.count {
+            return;
+        }
+        if self.pool.read(self.dword(idx, D_SEQ)) != seq {
+            return; // descriptor recycled: the operation is long finished
+        }
+        let ptr = self.desc_ptr(idx, seq);
+        let _ = self.run_phases_helper(idx, seq, ptr, depth);
+    }
+
+    fn run_phases_helper(&self, idx: u32, seq: u64, ptr: u64, _depth: usize) -> bool {
+        // Re-validate the sequence once more after reading status to avoid
+        // acting on a recycled descriptor.
+        let r = self.run_phases(idx, seq, ptr);
+        if self.pool.read(self.dword(idx, D_SEQ)) != seq {
+            return false;
+        }
+        r
+    }
+
+    /// Sequential post-crash recovery: roll back undecided operations and
+    /// roll decided ones forward (thesis §3.1). Returns counts; the wall
+    /// time of this pass is the "BzTree recovery" measurement of Table 5.4.
+    pub fn recover(&self) -> RecoveryStats {
+        let mut stats = RecoveryStats::default();
+        for idx in 0..self.count as u32 {
+            stats.descriptors_scanned += 1;
+            let status = self.pool.read(self.dword(idx, D_STATUS));
+            if status == ST_FREE {
+                continue;
+            }
+            let seq = self.pool.read(self.dword(idx, D_SEQ));
+            let ptr = self.desc_ptr(idx, seq);
+            let count = (self.pool.read(self.dword(idx, D_COUNT)) as usize).min(MAX_ENTRIES);
+            let succeeded = status == ST_SUCCEEDED;
+            for i in 0..count {
+                let e = self.dword(idx, entry_off(i));
+                let addr = self.pool.read(e);
+                let old = self.pool.read(e + 1);
+                let new = self.pool.read(e + 2);
+                let cur = self.pool.read(addr);
+                if cur == ptr || cur == (ptr | DIRTY) {
+                    let fin = if succeeded { new } else { old };
+                    self.pool.write(addr, fin);
+                    self.pool.persist(addr, 1);
+                }
+            }
+            if succeeded {
+                stats.rolled_forward += 1;
+            } else {
+                stats.rolled_back += 1;
+            }
+            self.pool.write(self.dword(idx, D_SEQ), seq.wrapping_add(1));
+            self.pool.write(self.dword(idx, D_STATUS), ST_FREE);
+            self.pool.persist(self.dword(idx, D_STATUS), 2);
+        }
+        // Clear any dirty bits left on data words lazily via read(); the
+        // free list is volatile and must be rebuilt.
+        self.rebuild_free_list();
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmem::crash::silence_crash_panics;
+    use pmem::run_crashable;
+
+    fn setup(desc_count: usize, words: u64, tracked: bool) -> DescriptorPool {
+        let pool = if tracked {
+            Pool::tracked(words)
+        } else {
+            Pool::simple(words)
+        };
+        // Data in [64, 4096), descriptors above.
+        DescriptorPool::new(pool, 4096, desc_count)
+    }
+
+    #[test]
+    fn single_word_pmwcas_behaves_like_cas() {
+        let dp = setup(8, 1 << 16, false);
+        dp.pool.write(100, 5);
+        assert!(dp.pmwcas(&[(100, 5, 9)]));
+        assert_eq!(dp.read(100), 9);
+        assert!(
+            !dp.pmwcas(&[(100, 5, 11)]),
+            "stale expected value must fail"
+        );
+        assert_eq!(dp.read(100), 9);
+    }
+
+    #[test]
+    fn multi_word_is_all_or_nothing() {
+        let dp = setup(8, 1 << 16, false);
+        dp.pool.write(100, 1);
+        dp.pool.write(200, 2);
+        dp.pool.write(300, 3);
+        assert!(dp.pmwcas(&[(100, 1, 10), (200, 2, 20), (300, 3, 30)]));
+        assert_eq!((dp.read(100), dp.read(200), dp.read(300)), (10, 20, 30));
+        // One stale expectation fails the whole operation.
+        assert!(!dp.pmwcas(&[(100, 10, 11), (200, 99, 21)]));
+        assert_eq!((dp.read(100), dp.read(200)), (10, 20));
+    }
+
+    #[test]
+    #[should_panic(expected = "values must leave")]
+    fn reserved_bits_rejected() {
+        let dp = setup(2, 1 << 14, false);
+        dp.pmwcas(&[(100, 0, DIRTY)]);
+    }
+
+    #[test]
+    fn descriptors_are_recycled() {
+        let dp = setup(2, 1 << 14, false);
+        dp.pool.write(100, 0);
+        for i in 0..100u64 {
+            assert!(dp.pmwcas(&[(100, i, i + 1)]));
+        }
+        assert_eq!(dp.read(100), 100);
+    }
+
+    #[test]
+    fn concurrent_counters_do_not_lose_updates() {
+        let dp = std::sync::Arc::new(setup(64, 1 << 18, false));
+        let threads = 8;
+        let per = 300;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let dp = std::sync::Arc::clone(&dp);
+                s.spawn(move || {
+                    pmem::thread::register(t, 0);
+                    for _ in 0..per {
+                        loop {
+                            let a = dp.read(100);
+                            let b = dp.read(200);
+                            if dp.pmwcas(&[(100, a, a + 1), (200, b, b + 1)]) {
+                                break;
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        let expect = (threads * per) as u64;
+        assert_eq!(dp.read(100), expect);
+        assert_eq!(dp.read(200), expect);
+    }
+
+    #[test]
+    fn crash_mid_operation_recovers_atomically() {
+        silence_crash_panics();
+        let mut survived_old = 0;
+        let mut survived_new = 0;
+        for trial in 0..40 {
+            let dp = setup(16, 1 << 16, true);
+            dp.pool.write(100, 1);
+            dp.pool.write(200, 2);
+            dp.pool.mark_all_persisted();
+            dp.pool.crash_controller().arm_after(5 + trial * 3);
+            let _ = run_crashable(|| {
+                let _ = dp.pmwcas(&[(100, 1, 10), (200, 2, 20)]);
+                // Force a dependent read so dirty bits get exercised.
+                let _ = dp.read(100);
+            });
+            dp.pool.crash_controller().disarm();
+            pmem::discard_pending();
+            dp.pool.simulate_crash();
+            dp.recover();
+            let a = dp.read(100);
+            let b = dp.read(200);
+            assert!(
+                (a, b) == (1, 2) || (a, b) == (10, 20),
+                "trial {trial}: torn state ({a}, {b}) after recovery"
+            );
+            if (a, b) == (1, 2) {
+                survived_old += 1;
+            } else {
+                survived_new += 1;
+            }
+        }
+        assert!(survived_old > 0, "some crashes should roll back");
+        assert!(
+            survived_new > 0,
+            "some crashes should roll forward/complete"
+        );
+    }
+
+    #[test]
+    fn recovery_scans_whole_pool() {
+        let dp = setup(500, 1 << 18, true);
+        let stats = dp.recover();
+        assert_eq!(stats.descriptors_scanned, 500);
+    }
+}

@@ -1,0 +1,153 @@
+//! PMwCAS stress, helping, and crash-atomicity tests beyond the unit
+//! suite: multi-threaded crashes, descriptor exhaustion, max-width ops.
+
+use std::sync::Arc;
+
+use pmem::{run_crashable, Pool};
+use pmwcas::{DescriptorPool, MAX_ENTRIES};
+
+fn setup(desc: usize, tracked: bool) -> Arc<DescriptorPool> {
+    let pool = if tracked {
+        Pool::tracked(1 << 18)
+    } else {
+        Pool::simple(1 << 18)
+    };
+    Arc::new(DescriptorPool::new(pool, 8192, desc))
+}
+
+#[test]
+fn max_width_operations_are_atomic() {
+    let dp = setup(32, false);
+    let addrs: Vec<u64> = (0..MAX_ENTRIES as u64).map(|i| 100 + i * 8).collect();
+    for round in 0..200u64 {
+        let entries: Vec<(u64, u64, u64)> = addrs.iter().map(|&a| (a, round, round + 1)).collect();
+        assert!(dp.pmwcas(&entries), "round {round}");
+    }
+    for &a in &addrs {
+        assert_eq!(dp.read(a), 200);
+    }
+}
+
+#[test]
+fn descriptor_exhaustion_blocks_until_recycled() {
+    // With a single descriptor, operations serialize but must all succeed.
+    let dp = setup(1, false);
+    std::thread::scope(|s| {
+        for t in 0..4 {
+            let dp = Arc::clone(&dp);
+            s.spawn(move || {
+                pmem::thread::register(t, 0);
+                for _ in 0..100 {
+                    loop {
+                        let v = dp.read(64);
+                        if dp.pmwcas(&[(64, v, v + 1)]) {
+                            break;
+                        }
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(dp.read(64), 400);
+}
+
+#[test]
+fn helping_completes_operations_across_threads() {
+    // Threads CAS over two shared words in opposite orders of *intent*;
+    // address-ordered installation plus helping must never deadlock or
+    // tear.
+    let dp = setup(64, false);
+    dp.pool_write(200, 0);
+    dp.pool_write(300, 0);
+    std::thread::scope(|s| {
+        for t in 0..8 {
+            let dp = Arc::clone(&dp);
+            s.spawn(move || {
+                pmem::thread::register(t, 0);
+                for _ in 0..200 {
+                    loop {
+                        let a = dp.read(200);
+                        let b = dp.read(300);
+                        if a != b {
+                            continue; // raced mid-op; the reads help
+                        }
+                        if dp.pmwcas(&[(200, a, a + 1), (300, b, b + 1)]) {
+                            break;
+                        }
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(dp.read(200), dp.read(300));
+    assert_eq!(dp.read(200), 1600);
+}
+
+#[test]
+fn multithreaded_crash_recovers_all_or_nothing_per_op() {
+    pmem::crash::silence_crash_panics();
+    for trial in 0..10u64 {
+        let dp = setup(64, true);
+        // Pairs (i, i+1) must always advance in lockstep.
+        for w in 0..8u64 {
+            dp.pool_write(400 + w, 0);
+        }
+        dp.pool().mark_all_persisted();
+        dp.pool().crash_controller().arm_after(3_000 + trial * 997);
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let dp = Arc::clone(&dp);
+                s.spawn(move || {
+                    pmem::thread::register(t, 0);
+                    let pair = (t % 4) as u64 * 2;
+                    let _ = run_crashable(|| loop {
+                        let a = dp.read(400 + pair);
+                        let b = dp.read(400 + pair + 1);
+                        if a == b {
+                            let _ =
+                                dp.pmwcas(&[(400 + pair, a, a + 1), (400 + pair + 1, b, b + 1)]);
+                        }
+                    });
+                    pmem::discard_pending();
+                });
+            }
+        });
+        dp.pool().crash_controller().disarm();
+        dp.pool().simulate_crash();
+        dp.recover();
+        for pair in (0..8u64).step_by(2) {
+            let a = dp.read(400 + pair);
+            let b = dp.read(400 + pair + 1);
+            assert_eq!(
+                a,
+                b,
+                "trial {trial}: pair at {} torn after recovery",
+                400 + pair
+            );
+        }
+    }
+}
+
+#[test]
+fn recovery_is_idempotent() {
+    let dp = setup(128, true);
+    dp.pool_write(100, 5);
+    dp.pool().mark_all_persisted();
+    assert!(dp.pmwcas(&[(100, 5, 6)]));
+    let s1 = dp.recover();
+    let s2 = dp.recover();
+    assert_eq!(s1.descriptors_scanned, 128);
+    assert_eq!(s2.descriptors_scanned, 128);
+    assert_eq!(dp.read(100), 6);
+}
+
+/// Small test shim: direct word writes for fixture setup.
+trait PoolWrite {
+    fn pool_write(&self, addr: u64, v: u64);
+}
+
+impl PoolWrite for DescriptorPool {
+    fn pool_write(&self, addr: u64, v: u64) {
+        self.pool().write(addr, v);
+    }
+}

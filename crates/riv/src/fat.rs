@@ -1,0 +1,99 @@
+//! Two-word "fat" persistent pointers, as used by libpmemobj (PMEMoid).
+//!
+//! The PMDK represents persistent pointers as a pool identifier word plus an
+//! offset word (thesis §3.1). The lock-based baseline skip list stores its
+//! next-pointers in this format so that the cache-efficiency comparison of
+//! Fig 5.3 is faithful: each fat pointer occupies two words in the node, so
+//! half as many fit per cache line, and every dereference performs two pool
+//! reads.
+
+use std::sync::Arc;
+
+use pmem::Pool;
+
+/// A libpmemobj-style fat pointer: `{pool_id, word_offset}`, stored as two
+/// consecutive words. `{0, 0}` is null (offset 0 is always a pool header, so
+/// no object lives there).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FatPtr {
+    pub pool_id: u64,
+    pub offset: u64,
+}
+
+impl FatPtr {
+    pub const NULL: FatPtr = FatPtr {
+        pool_id: 0,
+        offset: 0,
+    };
+
+    /// Number of words a fat pointer occupies in persistent memory.
+    pub const WORDS: u64 = 2;
+
+    #[inline]
+    pub fn new(pool_id: u16, offset: u64) -> Self {
+        Self {
+            pool_id: pool_id as u64,
+            offset,
+        }
+    }
+
+    #[inline]
+    pub fn is_null(self) -> bool {
+        self.offset == 0
+    }
+
+    /// Load a fat pointer from two consecutive words at `off` in `pool`.
+    /// Two reads, as with a real PMEMoid.
+    #[inline]
+    pub fn load(pool: &Pool, off: u64) -> Self {
+        let pool_id = pool.read(off);
+        let offset = pool.read(off + 1);
+        Self { pool_id, offset }
+    }
+
+    /// Store the fat pointer into two consecutive words at `off`.
+    ///
+    /// Note: the two stores are not atomic together; callers that require
+    /// atomic pointer replacement (as the transactional baseline does) must
+    /// wrap the store in a transaction or keep `pool_id` immutable and CAS
+    /// only the offset word.
+    #[inline]
+    pub fn store(self, pool: &Pool, off: u64) {
+        pool.write(off, self.pool_id);
+        pool.write(off + 1, self.offset);
+    }
+
+    /// Persist both words.
+    #[inline]
+    pub fn persist(pool: &Arc<Pool>, off: u64) {
+        pool.persist(off, Self::WORDS);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_load_roundtrip() {
+        let pool = Pool::simple(64);
+        let p = FatPtr::new(3, 40);
+        p.store(&pool, 10);
+        assert_eq!(FatPtr::load(&pool, 10), p);
+    }
+
+    #[test]
+    fn null_is_offset_zero() {
+        assert!(FatPtr::NULL.is_null());
+        assert!(FatPtr::new(5, 0).is_null());
+        assert!(!FatPtr::new(0, 8).is_null());
+    }
+
+    #[test]
+    fn occupies_two_words() {
+        let pool = Pool::simple(64);
+        FatPtr::new(1, 2).store(&pool, 0);
+        assert_eq!(pool.read(0), 1);
+        assert_eq!(pool.read(1), 2);
+    }
+}

@@ -1,0 +1,154 @@
+//! The one-word extended RIV pointer.
+
+/// Number of bits for the pool (NUMA node) id.
+pub const POOL_BITS: u32 = 16;
+/// Number of bits for the chunk id within a pool.
+pub const CHUNK_BITS: u32 = 16;
+/// Number of bits for the word offset within a chunk.
+pub const OFFSET_BITS: u32 = 32;
+
+/// Maximum chunk id (chunk 0 is reserved so that the all-zero word is never
+/// a valid object pointer, making 0 usable as null).
+pub const MAX_CHUNK: u16 = u16::MAX;
+
+/// A single-word persistent pointer: `[pool:16 | chunk:16 | offset:32]`.
+///
+/// The raw value 0 is null. Chunk id 0 is reserved, so every valid object
+/// pointer has a nonzero raw value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RivPtr(u64);
+
+impl RivPtr {
+    /// The null pointer.
+    pub const NULL: RivPtr = RivPtr(0);
+
+    /// Pack a pointer from its parts.
+    ///
+    /// # Panics
+    /// Panics (debug) if `chunk == 0`, which is reserved for null encoding.
+    #[inline]
+    pub fn new(pool: u16, chunk: u16, offset: u32) -> Self {
+        debug_assert!(chunk != 0, "chunk 0 is reserved (null encoding)");
+        RivPtr(
+            ((pool as u64) << (CHUNK_BITS + OFFSET_BITS))
+                | ((chunk as u64) << OFFSET_BITS)
+                | offset as u64,
+        )
+    }
+
+    /// Reinterpret a raw word (e.g. read from a pool) as a pointer.
+    #[inline]
+    pub fn from_raw(raw: u64) -> Self {
+        RivPtr(raw)
+    }
+
+    /// The raw word representation, suitable for storing in a pool.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    pub fn is_null(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Pool (NUMA node) id — the top 16 bits.
+    #[inline]
+    pub fn pool(self) -> u16 {
+        (self.0 >> (CHUNK_BITS + OFFSET_BITS)) as u16
+    }
+
+    /// Chunk id within the pool — the middle 16 bits.
+    #[inline]
+    pub fn chunk(self) -> u16 {
+        (self.0 >> OFFSET_BITS) as u16
+    }
+
+    /// Word offset within the chunk — the low 32 bits.
+    #[inline]
+    pub fn offset(self) -> u32 {
+        self.0 as u32
+    }
+
+    /// A pointer to `words` words past this one, within the same chunk.
+    ///
+    /// # Panics
+    /// Panics (debug) on null or if the offset overflows 32 bits.
+    #[inline]
+    #[allow(clippy::should_implement_trait)] // deliberate pointer-arith name
+    pub fn add(self, words: u32) -> Self {
+        debug_assert!(!self.is_null());
+        let off = self
+            .offset()
+            .checked_add(words)
+            .expect("RivPtr offset overflow");
+        RivPtr((self.0 & !0xffff_ffff) | off as u64)
+    }
+}
+
+impl Default for RivPtr {
+    fn default() -> Self {
+        Self::NULL
+    }
+}
+
+impl std::fmt::Display for RivPtr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_null() {
+            write!(f, "riv(null)")
+        } else {
+            write!(f, "riv({}:{}:{})", self.pool(), self.chunk(), self.offset())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let p = RivPtr::new(3, 17, 0xdead_beef);
+        assert_eq!(p.pool(), 3);
+        assert_eq!(p.chunk(), 17);
+        assert_eq!(p.offset(), 0xdead_beef);
+        assert_eq!(RivPtr::from_raw(p.raw()), p);
+    }
+
+    #[test]
+    fn extremes_roundtrip() {
+        let p = RivPtr::new(u16::MAX, u16::MAX, u32::MAX);
+        assert_eq!(p.pool(), u16::MAX);
+        assert_eq!(p.chunk(), u16::MAX);
+        assert_eq!(p.offset(), u32::MAX);
+    }
+
+    #[test]
+    fn null_properties() {
+        assert!(RivPtr::NULL.is_null());
+        assert_eq!(RivPtr::NULL.raw(), 0);
+        assert!(!RivPtr::new(0, 1, 0).is_null());
+    }
+
+    #[test]
+    fn add_stays_within_chunk_fields() {
+        let p = RivPtr::new(2, 9, 100);
+        let q = p.add(28);
+        assert_eq!(q.pool(), 2);
+        assert_eq!(q.chunk(), 9);
+        assert_eq!(q.offset(), 128);
+    }
+
+    #[test]
+    #[should_panic]
+    fn add_overflow_panics() {
+        RivPtr::new(0, 1, u32::MAX).add(1);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(RivPtr::NULL.to_string(), "riv(null)");
+        assert_eq!(RivPtr::new(1, 2, 3).to_string(), "riv(1:2:3)");
+    }
+}

@@ -1,0 +1,82 @@
+//! Property tests for RIV pointer packing and multi-pool resolution.
+
+use std::sync::Arc;
+
+use pmem::pool::PoolConfig;
+use pmem::{CrashController, Pool};
+use proptest::prelude::*;
+use riv::{FatPtr, RivPtr, RivSpace};
+
+proptest! {
+    #[test]
+    fn pack_unpack_is_identity(pool in 0u16..=u16::MAX, chunk in 1u16..=u16::MAX, off in 0u32..=u32::MAX) {
+        let p = RivPtr::new(pool, chunk, off);
+        prop_assert_eq!(p.pool(), pool);
+        prop_assert_eq!(p.chunk(), chunk);
+        prop_assert_eq!(p.offset(), off);
+        prop_assert_eq!(RivPtr::from_raw(p.raw()), p);
+        prop_assert!(!p.is_null());
+    }
+
+    #[test]
+    fn add_is_offset_addition(chunk in 1u16..100, off in 0u32..1_000_000, delta in 0u32..1_000_000) {
+        let p = RivPtr::new(3, chunk, off);
+        let q = p.add(delta);
+        prop_assert_eq!(q.offset(), off + delta);
+        prop_assert_eq!(q.pool(), p.pool());
+        prop_assert_eq!(q.chunk(), p.chunk());
+    }
+
+    #[test]
+    fn distinct_parts_give_distinct_raw(a in (0u16..16, 1u16..16, 0u32..1024), b in (0u16..16, 1u16..16, 0u32..1024)) {
+        let pa = RivPtr::new(a.0, a.1, a.2);
+        let pb = RivPtr::new(b.0, b.1, b.2);
+        prop_assert_eq!(pa == pb, a == b);
+    }
+
+    #[test]
+    fn fat_pointer_roundtrip(pool in 0u16..=u16::MAX, off in 1u64..u64::MAX / 2) {
+        let p = Pool::simple(16);
+        FatPtr::new(pool, off).store(&p, 4);
+        let back = FatPtr::load(&p, 4);
+        prop_assert_eq!(back.pool_id, pool as u64);
+        prop_assert_eq!(back.offset, off);
+        prop_assert!(!back.is_null());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// Writes through randomly chosen registered pointers land at the
+    /// right absolute locations and read back across cache invalidation.
+    #[test]
+    fn multi_pool_resolution_is_consistent(
+        writes in proptest::collection::vec((0u16..3, 1u16..5, 0u32..64, 0u64..u64::MAX), 1..60),
+    ) {
+        let crash = Arc::new(CrashController::new());
+        let pools: Vec<_> = (0..3u16)
+            .map(|id| {
+                let mut pc = PoolConfig::simple(1 << 14);
+                pc.id = id;
+                Pool::new(pc, Arc::clone(&crash))
+            })
+            .collect();
+        let sp = RivSpace::new(pools, 64, 16);
+        for pool in 0..3u16 {
+            for chunk in 1..5u16 {
+                sp.register_chunk(pool, chunk, 1024 + chunk as u64 * 256);
+            }
+        }
+        let mut model = std::collections::HashMap::new();
+        for (pool, chunk, off, val) in writes {
+            let p = RivPtr::new(pool, chunk, off);
+            sp.write(p, val);
+            model.insert(p, val);
+        }
+        sp.invalidate_caches(); // force the lazy persistent-table path
+        for (p, val) in model {
+            prop_assert_eq!(sp.read(p), val);
+        }
+    }
+}

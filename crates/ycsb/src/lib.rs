@@ -1,0 +1,374 @@
+//! # ycsb — Yahoo Cloud Serving Benchmark workload generation
+//!
+//! Generates the four workloads the thesis evaluates (Table 5.1), plus the
+//! standard YCSB E/F as extensions:
+//!
+//! | Workload | Name          | Mix                   | Distribution |
+//! |----------|---------------|-----------------------|--------------|
+//! | A        | Update-Heavy  | 50r/50u               | Zipfian      |
+//! | B        | Read-Mostly   | 95r/5u                | Zipfian      |
+//! | C        | Read-Only     | 100r                  | Zipfian      |
+//! | D        | Read-Latest   | 95r/5i                | Latest       |
+//! | E (ext.) | Scan-Heavy    | 95 scans/5i           | Zipfian      |
+//! | F (ext.) | Read-Mod-Write| 50r/50 rmw            | Zipfian      |
+//!
+//! Workloads are generated up front and "played back" by the driver
+//! threads (§5.1.2 memory-maps pre-generated traces for the same reason:
+//! generation cost must not pollute the measurement).
+
+pub mod zipf;
+
+pub use zipf::{fnv1a, ScrambledZipfian, Zipfian};
+
+use rand::{Rng, SeedableRng};
+
+/// One benchmark operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    Read(u64),
+    Update(u64, u64),
+    Insert(u64, u64),
+    /// Range scan: start key + record count (workload E).
+    Scan(u64, u32),
+    /// Read-modify-write: read the key, then write the given value
+    /// (workload F).
+    Rmw(u64, u64),
+}
+
+impl Op {
+    #[inline]
+    pub fn key(&self) -> u64 {
+        match *self {
+            Op::Read(k) | Op::Update(k, _) | Op::Insert(k, _) | Op::Scan(k, _) | Op::Rmw(k, _) => k,
+        }
+    }
+}
+
+/// Key-choice distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Distribution {
+    /// Scrambled Zipfian over the loaded records (workloads A–C).
+    Zipfian,
+    /// Skewed toward the most recently inserted records (workload D).
+    Latest,
+    /// Uniform (not used by the thesis; handy for ablations).
+    Uniform,
+}
+
+/// A YCSB workload definition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkloadSpec {
+    pub name: &'static str,
+    /// Percentages; must sum to 100 (with `scan_pct` and `rmw_pct`).
+    pub read_pct: u32,
+    pub update_pct: u32,
+    pub insert_pct: u32,
+    /// Range scans (workload E; an extension — the thesis evaluates A–D).
+    pub scan_pct: u32,
+    /// Read-modify-writes (workload F; extension).
+    pub rmw_pct: u32,
+    pub distribution: Distribution,
+}
+
+pub const WORKLOAD_A: WorkloadSpec = WorkloadSpec {
+    name: "A",
+    read_pct: 50,
+    update_pct: 50,
+    insert_pct: 0,
+    scan_pct: 0,
+    rmw_pct: 0,
+    distribution: Distribution::Zipfian,
+};
+pub const WORKLOAD_B: WorkloadSpec = WorkloadSpec {
+    name: "B",
+    read_pct: 95,
+    update_pct: 5,
+    insert_pct: 0,
+    scan_pct: 0,
+    rmw_pct: 0,
+    distribution: Distribution::Zipfian,
+};
+pub const WORKLOAD_C: WorkloadSpec = WorkloadSpec {
+    name: "C",
+    read_pct: 100,
+    update_pct: 0,
+    insert_pct: 0,
+    scan_pct: 0,
+    rmw_pct: 0,
+    distribution: Distribution::Zipfian,
+};
+pub const WORKLOAD_D: WorkloadSpec = WorkloadSpec {
+    name: "D",
+    read_pct: 95,
+    update_pct: 0,
+    insert_pct: 5,
+    scan_pct: 0,
+    rmw_pct: 0,
+    distribution: Distribution::Latest,
+};
+
+pub const WORKLOAD_E: WorkloadSpec = WorkloadSpec {
+    name: "E",
+    read_pct: 0,
+    update_pct: 0,
+    insert_pct: 5,
+    scan_pct: 95,
+    rmw_pct: 0,
+    distribution: Distribution::Zipfian,
+};
+pub const WORKLOAD_F: WorkloadSpec = WorkloadSpec {
+    name: "F",
+    read_pct: 50,
+    update_pct: 0,
+    insert_pct: 0,
+    scan_pct: 0,
+    rmw_pct: 50,
+    distribution: Distribution::Zipfian,
+};
+
+/// The four workloads the thesis evaluates.
+pub const ALL_WORKLOADS: [WorkloadSpec; 4] = [WORKLOAD_A, WORKLOAD_B, WORKLOAD_C, WORKLOAD_D];
+
+/// A–D plus the standard YCSB extensions E (scans) and F (RMW).
+pub const EXTENDED_WORKLOADS: [WorkloadSpec; 6] = [
+    WORKLOAD_A, WORKLOAD_B, WORKLOAD_C, WORKLOAD_D, WORKLOAD_E, WORKLOAD_F,
+];
+
+/// Look a workload up by its letter.
+pub fn workload_by_name(name: &str) -> Option<WorkloadSpec> {
+    EXTENDED_WORKLOADS
+        .iter()
+        .copied()
+        .find(|w| w.name.eq_ignore_ascii_case(name))
+}
+
+/// Map a record index to a key in `1..2^62` (bijective multiply, masked —
+/// collision probability is negligible for realistic record counts, and
+/// keys stay inside every structure's valid range).
+#[inline]
+pub fn key_of(record: u64) -> u64 {
+    ((record.wrapping_add(1)).wrapping_mul(0x9e37_79b9_7f4a_7c15) & ((1 << 62) - 1)).max(1)
+}
+
+/// A generated workload: the records to pre-load plus per-thread op traces.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    pub spec: WorkloadSpec,
+    /// Keys to pre-load (phase 1), with their initial values.
+    pub load: Vec<(u64, u64)>,
+    /// Per-thread operation traces (phase 2).
+    pub ops: Vec<Vec<Op>>,
+}
+
+/// Generate a workload: `record_count` pre-loaded records, `op_count` total
+/// operations split round-robin over `threads` traces.
+pub fn generate(
+    spec: WorkloadSpec,
+    record_count: u64,
+    op_count: u64,
+    threads: usize,
+    seed: u64,
+) -> Workload {
+    assert_eq!(
+        spec.read_pct + spec.update_pct + spec.insert_pct + spec.scan_pct + spec.rmw_pct,
+        100
+    );
+    assert!(record_count >= 1 && threads >= 1);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let load: Vec<(u64, u64)> = (0..record_count).map(|i| (key_of(i), i + 1)).collect();
+    let zipf = ScrambledZipfian::new(record_count);
+    // Latest distribution: zipfian over recency.
+    let latest_zipf = Zipfian::new(record_count);
+    let mut record_total = record_count;
+    let mut ops: Vec<Vec<Op>> = vec![Vec::with_capacity(op_count as usize / threads + 1); threads];
+    let mut next_value: u64 = record_count + 1;
+    for i in 0..op_count {
+        let roll = rng.gen_range(0..100);
+        let op = if roll < spec.read_pct {
+            Op::Read(choose_key(
+                &spec,
+                &zipf,
+                &latest_zipf,
+                record_total,
+                &mut rng,
+            ))
+        } else if roll < spec.read_pct + spec.update_pct {
+            let k = choose_key(&spec, &zipf, &latest_zipf, record_total, &mut rng);
+            let v = next_value;
+            next_value += 1;
+            Op::Update(k, v)
+        } else if roll < spec.read_pct + spec.update_pct + spec.scan_pct {
+            let k = choose_key(&spec, &zipf, &latest_zipf, record_total, &mut rng);
+            // YCSB scans a uniform 1..100 record count.
+            Op::Scan(k, rng.gen_range(1..=100))
+        } else if roll < spec.read_pct + spec.update_pct + spec.scan_pct + spec.rmw_pct {
+            let k = choose_key(&spec, &zipf, &latest_zipf, record_total, &mut rng);
+            let v = next_value;
+            next_value += 1;
+            Op::Rmw(k, v)
+        } else {
+            let k = key_of(record_total);
+            record_total += 1;
+            let v = next_value;
+            next_value += 1;
+            Op::Insert(k, v)
+        };
+        ops[(i % threads as u64) as usize].push(op);
+    }
+    Workload { spec, load, ops }
+}
+
+fn choose_key<R: Rng>(
+    spec: &WorkloadSpec,
+    zipf: &ScrambledZipfian,
+    latest: &Zipfian,
+    record_total: u64,
+    rng: &mut R,
+) -> u64 {
+    match spec.distribution {
+        Distribution::Zipfian => key_of(zipf.next(rng)),
+        Distribution::Latest => {
+            // Hotness proportional to recency: newest record = rank 0.
+            let back = latest.next(rng) % record_total;
+            key_of(record_total - 1 - back)
+        }
+        Distribution::Uniform => key_of(rng.gen_range(0..record_total)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_sum_to_100() {
+        for w in ALL_WORKLOADS {
+            assert_eq!(
+                w.read_pct + w.update_pct + w.insert_pct,
+                100,
+                "workload {}",
+                w.name
+            );
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(workload_by_name("a"), Some(WORKLOAD_A));
+        assert_eq!(workload_by_name("D"), Some(WORKLOAD_D));
+        assert_eq!(workload_by_name("x"), None);
+    }
+
+    #[test]
+    fn keys_are_distinct_and_in_range() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..100_000u64 {
+            let k = key_of(i);
+            assert!((1..1 << 62).contains(&k));
+            assert!(seen.insert(k), "key collision at record {i}");
+        }
+    }
+
+    #[test]
+    fn generated_mix_matches_spec() {
+        let w = generate(WORKLOAD_A, 1000, 40_000, 4, 99);
+        assert_eq!(w.load.len(), 1000);
+        let all: Vec<&Op> = w.ops.iter().flatten().collect();
+        assert_eq!(all.len(), 40_000);
+        let reads = all.iter().filter(|o| matches!(o, Op::Read(_))).count();
+        let frac = reads as f64 / all.len() as f64;
+        assert!(
+            (0.47..0.53).contains(&frac),
+            "A should be ~50% reads, got {frac}"
+        );
+    }
+
+    #[test]
+    fn read_only_workload_has_only_reads() {
+        let w = generate(WORKLOAD_C, 100, 5000, 2, 7);
+        assert!(w.ops.iter().flatten().all(|o| matches!(o, Op::Read(_))));
+    }
+
+    #[test]
+    fn insert_ops_use_fresh_keys() {
+        let w = generate(WORKLOAD_D, 500, 20_000, 4, 3);
+        let loaded: std::collections::HashSet<u64> = w.load.iter().map(|&(k, _)| k).collect();
+        let mut inserted = std::collections::HashSet::new();
+        for op in w.ops.iter().flatten() {
+            if let Op::Insert(k, _) = op {
+                assert!(!loaded.contains(k), "insert reused a loaded key");
+                assert!(inserted.insert(*k), "insert reused an inserted key");
+            }
+        }
+        assert!(!inserted.is_empty());
+    }
+
+    #[test]
+    fn latest_distribution_prefers_recent_records() {
+        let records = 10_000u64;
+        let w = generate(WORKLOAD_D, records, 50_000, 1, 5);
+        // Replay the (single-thread) trace, tracking the rolling window of
+        // the 1000 most recent records; Latest reads must hit it heavily.
+        let mut record_total = records;
+        let mut window: std::collections::VecDeque<u64> =
+            (records - 1000..records).map(key_of).collect();
+        let mut in_window: std::collections::HashSet<u64> = window.iter().copied().collect();
+        let (mut reads, mut hot) = (0u64, 0u64);
+        for op in &w.ops[0] {
+            match *op {
+                Op::Read(k) => {
+                    reads += 1;
+                    if in_window.contains(&k) {
+                        hot += 1;
+                    }
+                }
+                Op::Insert(k, _) => {
+                    record_total += 1;
+                    window.push_back(k);
+                    in_window.insert(k);
+                    if window.len() > 1000 {
+                        in_window.remove(&window.pop_front().unwrap());
+                    }
+                }
+                _ => {}
+            }
+        }
+        let _ = record_total;
+        let frac = hot as f64 / reads as f64;
+        // Under a uniform distribution the window would catch <10% of
+        // reads; Zipfian-over-recency concentrates well over a third.
+        assert!(frac > 0.35, "latest distribution head too light: {frac}");
+    }
+
+    #[test]
+    fn workload_e_is_scan_dominated_with_bounded_lengths() {
+        let w = generate(WORKLOAD_E, 1000, 20_000, 2, 8);
+        let all: Vec<&Op> = w.ops.iter().flatten().collect();
+        let scans = all.iter().filter(|o| matches!(o, Op::Scan(..))).count();
+        assert!((0.92..0.98).contains(&(scans as f64 / all.len() as f64)));
+        for op in &all {
+            if let Op::Scan(_, n) = op {
+                assert!((1..=100).contains(n), "scan length {n} out of YCSB range");
+            }
+        }
+    }
+
+    #[test]
+    fn workload_f_mixes_reads_and_rmws_evenly() {
+        let w = generate(WORKLOAD_F, 1000, 20_000, 2, 9);
+        let all: Vec<&Op> = w.ops.iter().flatten().collect();
+        let rmws = all.iter().filter(|o| matches!(o, Op::Rmw(..))).count();
+        let reads = all.iter().filter(|o| matches!(o, Op::Read(_))).count();
+        assert!((0.47..0.53).contains(&(rmws as f64 / all.len() as f64)));
+        assert_eq!(rmws + reads, all.len());
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = generate(WORKLOAD_B, 100, 1000, 2, 11);
+        let b = generate(WORKLOAD_B, 100, 1000, 2, 11);
+        assert_eq!(a.ops, b.ops);
+        let c = generate(WORKLOAD_B, 100, 1000, 2, 12);
+        assert_ne!(a.ops, c.ops);
+    }
+}

@@ -1,0 +1,151 @@
+//! Zipfian generators, ported from YCSB's `ZipfianGenerator` /
+//! `ScrambledZipfianGenerator` (Gray et al.'s rejection-free algorithm).
+
+use rand::Rng;
+
+/// YCSB's default skew.
+pub const ZIPFIAN_CONSTANT: f64 = 0.99;
+
+/// Draws ranks in `0..n` with a Zipfian distribution (rank 0 hottest).
+#[derive(Debug, Clone)]
+pub struct Zipfian {
+    items: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    zeta2theta: f64,
+}
+
+fn zeta(n: u64, theta: f64) -> f64 {
+    (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+}
+
+impl Zipfian {
+    pub fn new(items: u64) -> Self {
+        Self::with_theta(items, ZIPFIAN_CONSTANT)
+    }
+
+    pub fn with_theta(items: u64, theta: f64) -> Self {
+        assert!(items >= 1);
+        let zetan = zeta(items, theta);
+        let zeta2theta = zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / items as f64).powf(1.0 - theta)) / (1.0 - zeta2theta / zetan);
+        Self {
+            items,
+            theta,
+            alpha,
+            zetan,
+            eta,
+            zeta2theta,
+        }
+    }
+
+    #[inline]
+    pub fn items(&self) -> u64 {
+        self.items
+    }
+
+    /// Draw a rank in `0..items`.
+    pub fn next<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let _ = self.zeta2theta;
+        let rank = (self.items as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        rank.min(self.items - 1)
+    }
+}
+
+/// FNV-1a 64-bit hash (what YCSB uses for scrambling).
+#[inline]
+pub fn fnv1a(mut x: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for _ in 0..8 {
+        h ^= x & 0xff;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+        x >>= 8;
+    }
+    h
+}
+
+/// Scrambled Zipfian: Zipfian ranks hashed across the keyspace, so the hot
+/// set is spread out rather than clustered — YCSB's default for A–C.
+#[derive(Debug, Clone)]
+pub struct ScrambledZipfian {
+    inner: Zipfian,
+}
+
+impl ScrambledZipfian {
+    pub fn new(items: u64) -> Self {
+        Self {
+            inner: Zipfian::new(items),
+        }
+    }
+
+    /// Draw a record index in `0..items`.
+    pub fn next<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        fnv1a(self.inner.next(rng)) % self.inner.items()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ranks_stay_in_range() {
+        let z = Zipfian::new(1000);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            assert!(z.next(&mut rng) < 1000);
+        }
+    }
+
+    #[test]
+    fn distribution_is_skewed_toward_low_ranks() {
+        let z = Zipfian::new(10_000);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let n = 100_000;
+        let hot = (0..n).filter(|_| z.next(&mut rng) < 100).count();
+        // Under uniform, rank<100 would be ~1%; Zipfian(0.99) concentrates
+        // far more mass there (YCSB's head ≈ 35–50% for these sizes).
+        assert!(
+            hot as f64 / n as f64 > 0.2,
+            "zipfian head too light: {}",
+            hot as f64 / n as f64
+        );
+    }
+
+    #[test]
+    fn scrambled_spreads_the_hot_set() {
+        let z = ScrambledZipfian::new(10_000);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut lowest_decile = 0;
+        let n = 50_000;
+        for _ in 0..n {
+            if z.next(&mut rng) < 1000 {
+                lowest_decile += 1;
+            }
+        }
+        // After scrambling, the first decile of the keyspace should carry
+        // roughly a decile of the mass, not the Zipfian head.
+        let frac = lowest_decile as f64 / n as f64;
+        assert!((0.03..0.3).contains(&frac), "scramble failed: {frac}");
+    }
+
+    #[test]
+    fn fnv_is_deterministic_and_spreads() {
+        assert_eq!(fnv1a(1), fnv1a(1));
+        assert_ne!(fnv1a(1), fnv1a(2));
+        let buckets: std::collections::HashSet<u64> = (0..1000).map(|i| fnv1a(i) % 16).collect();
+        assert!(buckets.len() > 10);
+    }
+}

@@ -1,0 +1,82 @@
+//! A recoverable key-value store that survives a (simulated) power
+//! failure mid-workload: the thesis's headline scenario.
+//!
+//! Worker threads hammer the list with inserts while a crash is armed to
+//! fire after a random number of persistent-memory operations. Every
+//! thread dies mid-operation; the pool reverts to exactly what had been
+//! explicitly persisted; recovery is a constant-time epoch bump; and every
+//! acknowledged insert is still there.
+//!
+//! ```text
+//! cargo run --release --example kvstore
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use upskiplist::{ListBuilder, ListConfig};
+
+fn main() {
+    pmem::crash::silence_crash_panics();
+    let list = ListBuilder {
+        list: ListConfig::new(16, 8),
+        mode: pmem::PersistenceMode::Tracked,
+        pool_words: 1 << 23,
+        ..ListBuilder::default()
+    }
+    .create();
+
+    // Phase 1: insert under a scheduled power failure. `acked` counts
+    // inserts whose call returned before the lights went out — exactly the
+    // ones strict linearizability obliges the structure to keep.
+    let controller = Arc::clone(list.space().pool(0).crash_controller());
+    controller.arm_after(400_000);
+    let acked = AtomicU64::new(0);
+    let threads = 4u64;
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let list = &list;
+            let acked = &acked;
+            s.spawn(move || {
+                pmem::thread::register(t as usize, 0);
+                let mut k = t + 1;
+                let _ = pmem::run_crashable(|| loop {
+                    list.insert(k, k * 10);
+                    acked.fetch_add(1, Ordering::Relaxed);
+                    k += threads;
+                });
+                pmem::discard_pending(); // un-fenced flushes die with us
+            });
+        }
+    });
+    let acked = acked.load(Ordering::Relaxed);
+    println!("power failure! {acked} inserts had been acknowledged");
+
+    // The power cycle: volatile contents are gone.
+    controller.disarm();
+    for pool in list.space().pools() {
+        pool.simulate_crash();
+    }
+
+    // Recovery: reconnect + epoch bump. No scan of the structure —
+    // inconsistencies are repaired lazily as operations encounter them
+    // (§4.1.5).
+    let t0 = std::time::Instant::now();
+    list.recover();
+    println!("recovered in {:?} (size-independent)", t0.elapsed());
+
+    // Every acknowledged insert must still be present.
+    let mut found = 0u64;
+    for t in 0..threads {
+        let mut k = t + 1;
+        while let Some(v) = list.get(k) {
+            assert_eq!(v, k * 10, "key {k} has a torn value");
+            found += 1;
+            k += threads;
+        }
+    }
+    println!("verified: {found} keys readable after the crash (≥ {acked} acked)");
+    assert!(found >= acked, "an acknowledged insert was lost");
+    list.check_invariants();
+    println!("structural invariants hold after recovery");
+}

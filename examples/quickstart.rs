@@ -1,0 +1,42 @@
+//! Quickstart: create a recoverable skip list, use the key-value API.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use upskiplist::{ListBuilder, ListConfig};
+
+fn main() {
+    // A small in-simulation deployment: one PMEM pool, 16-level towers,
+    // 8 key-value pairs per node.
+    let list = ListBuilder {
+        list: ListConfig::new(16, 8),
+        ..ListBuilder::default()
+    }
+    .create();
+
+    // Upsert semantics: `insert` returns the previous value, if any.
+    assert_eq!(list.insert(42, 4200), None);
+    assert_eq!(list.insert(42, 4300), Some(4200));
+
+    // Point lookups and removals (removals tombstone the value, §4.6).
+    assert_eq!(list.get(42), Some(4300));
+    assert_eq!(list.remove(42), Some(4300));
+    assert_eq!(list.get(42), None);
+
+    // Bulk insert + range query (ascending, live keys only).
+    for k in 1..=100u64 {
+        list.insert(k, k * k);
+    }
+    let squares = list.range(10, 15);
+    println!("squares of 10..=15: {squares:?}");
+    assert_eq!(squares.len(), 6);
+
+    // The structure self-checks its invariants (testing aid).
+    list.check_invariants();
+    println!(
+        "ok: {} live keys across {} multi-key nodes",
+        list.count_live(),
+        list.node_count()
+    );
+}

@@ -1,0 +1,83 @@
+//! Drive the skip list with a real YCSB workload and inspect what the
+//! persistence layer did (reads, writes, flushes, fences).
+//!
+//! ```text
+//! cargo run --release --example ycsb_demo -- A     # or B, C, D
+//! ```
+
+use std::sync::Arc;
+
+use upskiplist::{ListBuilder, ListConfig};
+use ycsb::{generate, workload_by_name, Op, WORKLOAD_A};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "A".into());
+    let spec = workload_by_name(&name).unwrap_or(WORKLOAD_A);
+    let records = 20_000;
+    let ops = 100_000;
+    let threads = 4;
+    println!(
+        "workload {}: {}% read / {}% update / {}% insert, {:?} distribution",
+        spec.name, spec.read_pct, spec.update_pct, spec.insert_pct, spec.distribution
+    );
+
+    let list = ListBuilder {
+        list: ListConfig::new(16, 64),
+        pool_words: 1 << 23,
+        ..ListBuilder::default()
+    }
+    .create();
+    let w = generate(spec, records, ops, threads, 7);
+
+    // Load phase.
+    for &(k, v) in &w.load {
+        list.insert(k, v);
+    }
+    let before = list.space().pool(0).stats().snapshot();
+
+    // Run phase.
+    let t0 = std::time::Instant::now();
+    std::thread::scope(|s| {
+        for (t, trace) in w.ops.iter().enumerate() {
+            let list = Arc::clone(&list);
+            s.spawn(move || {
+                pmem::thread::register(t, 0);
+                for op in trace {
+                    match *op {
+                        Op::Read(k) => {
+                            std::hint::black_box(list.get(k));
+                        }
+                        Op::Scan(k, n) => {
+                            std::hint::black_box(list.scan(k, n as usize));
+                        }
+                        Op::Rmw(k, v) => {
+                            std::hint::black_box(list.get(k));
+                            list.insert(k, v);
+                        }
+                        Op::Update(k, v) | Op::Insert(k, v) => {
+                            list.insert(k, v);
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let dt = t0.elapsed();
+    let d = list.space().pool(0).stats().snapshot().since(&before);
+
+    println!(
+        "{ops} ops in {dt:?} ({:.3} Mops/s)",
+        ops as f64 / dt.as_secs_f64() / 1e6
+    );
+    println!("pmem traffic per operation:");
+    println!("  line reads : {:.1}", d.reads as f64 / ops as f64);
+    println!("  word writes: {:.1}", d.writes as f64 / ops as f64);
+    println!("  CAS ops    : {:.1}", d.cas_ops as f64 / ops as f64);
+    println!("  flushes    : {:.2}", d.flushes as f64 / ops as f64);
+    println!("  fences     : {:.2}", d.fences as f64 / ops as f64);
+    println!(
+        "structure: {} live keys in {} nodes",
+        list.count_live(),
+        list.node_count()
+    );
+}

@@ -1,0 +1,19 @@
+#!/bin/bash
+# Regenerates every table and figure (DESIGN.md experiment index).
+set -x
+cd /root/repo
+R=results
+mkdir -p $R
+cargo build --release -p bench --bins 2>/dev/null
+T="target/release"
+$T/throughput --workloads A,B,C,D --threads 1,2,4,8 --records 100000 --ops 150000 > $R/e1_e2_throughput.csv 2>$R/e1.log
+$T/pointer_compare --threads 1,2,4,8 --records 100000 --ops 200000 > $R/e3_pointer_compare.csv 2>$R/e3.log
+$T/numa_compare --workloads A,B,C,D --threads 8 --records 50000 --ops 100000 > $R/e4_numa_compare.csv 2>$R/e4.log
+$T/latency --workloads A,B,C,D --threads 8 --records 100000 --ops 150000 > $R/e5_latency.csv 2>$R/e5.log
+$T/recovery --records 50000 --trials 3 --threads 8 --crash-after 1000000 > $R/e6_recovery.csv 2>$R/e6.log
+$T/crash_test --trials 30 --threads 8 --keyspace 5000 --prepop 2000 --ops 8000 > $R/e7_crash_test.txt 2>$R/e7.log
+$T/crash_test --trials 5 --threads 8 --keyspace 5000 --prepop 2000 --ops 8000 --corrupt > $R/e7_corruption_control.txt 2>>$R/e7.log
+$T/throughput --workloads E,F --threads 1,2,4,8 --records 50000 --ops 60000 > $R/e8_extended_workloads.csv 2>$R/e8.log
+$T/crash_test --structure bztree --trials 30 --threads 8 --keyspace 5000 --prepop 2000 --ops 8000 > $R/e9_bztree_crash.txt 2>>$R/e7.log
+$T/crash_test --structure pmdkskip --trials 30 --threads 8 --keyspace 5000 --prepop 2000 --ops 8000 > $R/e9_pmdkskip_crash.txt 2>>$R/e7.log || true
+echo ALL_DONE

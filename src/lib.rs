@@ -1,0 +1,14 @@
+//! Umbrella crate of the UPSkipList workspace: hosts the runnable
+//! examples (`examples/`) and the cross-crate integration tests
+//! (`tests/`). The library surface simply re-exports the member crates.
+
+pub use bztree;
+pub use lincheck;
+pub use pmalloc;
+pub use pmdkskip;
+pub use pmem;
+pub use pmemtx;
+pub use pmwcas;
+pub use riv;
+pub use upskiplist;
+pub use ycsb;

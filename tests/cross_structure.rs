@@ -1,0 +1,195 @@
+//! Cross-crate integration: the three index structures must agree with a
+//! sequential model and with each other under identical YCSB traces.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use bztree::BzTree;
+use pmdkskip::PmdkSkipList;
+use pmem::Pool;
+use upskiplist::{ListBuilder, ListConfig, UpSkipList};
+use ycsb::{generate, Op, ALL_WORKLOADS};
+
+trait Kv: Send + Sync {
+    fn insert(&self, k: u64, v: u64) -> Option<u64>;
+    fn get(&self, k: u64) -> Option<u64>;
+}
+
+impl Kv for UpSkipList {
+    fn insert(&self, k: u64, v: u64) -> Option<u64> {
+        UpSkipList::insert(self, k, v)
+    }
+    fn get(&self, k: u64) -> Option<u64> {
+        UpSkipList::get(self, k)
+    }
+}
+impl Kv for BzTree {
+    fn insert(&self, k: u64, v: u64) -> Option<u64> {
+        BzTree::insert(self, k, v)
+    }
+    fn get(&self, k: u64) -> Option<u64> {
+        BzTree::get(self, k)
+    }
+}
+impl Kv for PmdkSkipList {
+    fn insert(&self, k: u64, v: u64) -> Option<u64> {
+        PmdkSkipList::insert(self, k, v)
+    }
+    fn get(&self, k: u64) -> Option<u64> {
+        PmdkSkipList::get(self, k)
+    }
+}
+
+fn structures() -> Vec<(&'static str, Arc<dyn Kv>)> {
+    let ups = ListBuilder {
+        list: ListConfig::new(16, 32),
+        pool_words: 1 << 22,
+        ..ListBuilder::default()
+    }
+    .create();
+    let bz = BzTree::create(Pool::simple(1 << 23), 64, 4096);
+    let pm = PmdkSkipList::create(Pool::simple(1 << 23), 16);
+    vec![
+        ("upskiplist", ups as _),
+        ("bztree", bz as _),
+        ("pmdkskip", pm as _),
+    ]
+}
+
+#[test]
+fn all_structures_replay_every_workload_like_the_model() {
+    for spec in ALL_WORKLOADS {
+        let w = generate(spec, 2_000, 20_000, 1, 99);
+        for (name, s) in structures() {
+            let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+            for &(k, v) in &w.load {
+                assert_eq!(s.insert(k, v), model.insert(k, v), "{name} load {k}");
+            }
+            for op in &w.ops[0] {
+                match *op {
+                    Op::Read(k) => {
+                        assert_eq!(
+                            s.get(k),
+                            model.get(&k).copied(),
+                            "{name}/{} read {k}",
+                            spec.name
+                        )
+                    }
+                    Op::Update(k, v) | Op::Insert(k, v) | Op::Rmw(k, v) => {
+                        assert_eq!(
+                            s.insert(k, v),
+                            model.insert(k, v),
+                            "{name}/{} write {k}",
+                            spec.name
+                        )
+                    }
+                    Op::Scan(..) => {}
+                }
+            }
+            // Full final-state audit.
+            for (&k, &v) in &model {
+                assert_eq!(s.get(k), Some(v), "{name}/{} final {k}", spec.name);
+            }
+        }
+    }
+}
+
+#[test]
+fn range_queries_agree_across_structures() {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+    let ups = ListBuilder {
+        list: ListConfig::new(12, 8),
+        pool_words: 1 << 22,
+        ..ListBuilder::default()
+    }
+    .create();
+    let bz = BzTree::create(Pool::simple(1 << 23), 64, 4096);
+    let pm = PmdkSkipList::create(Pool::simple(1 << 23), 16);
+    let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+    for _ in 0..2000 {
+        let k = rng.gen_range(1..=800u64);
+        let v = rng.gen_range(1..=1_000_000u64);
+        ups.insert(k, v);
+        bz.insert(k, v);
+        pm.insert(k, v);
+        model.insert(k, v);
+    }
+    for _ in 0..200 {
+        let k = rng.gen_range(1..=800u64);
+        ups.remove(k);
+        bz.remove(k);
+        pm.remove(k);
+        model.remove(&k);
+    }
+    for _ in 0..50 {
+        let a = rng.gen_range(1..=800u64);
+        let b = rng.gen_range(1..=800u64);
+        let (lo, hi) = (a.min(b), a.max(b));
+        let want: Vec<(u64, u64)> = model.range(lo..=hi).map(|(&k, &v)| (k, v)).collect();
+        assert_eq!(ups.range(lo, hi), want, "upskiplist range [{lo}, {hi}]");
+        assert_eq!(bz.range(lo, hi), want, "bztree range [{lo}, {hi}]");
+        assert_eq!(pm.range(lo, hi), want, "pmdkskip range [{lo}, {hi}]");
+    }
+}
+
+#[test]
+fn count_limited_scans_agree_across_structures() {
+    let ups = ListBuilder {
+        list: ListConfig::new(12, 8),
+        pool_words: 1 << 22,
+        ..ListBuilder::default()
+    }
+    .create();
+    let bz = BzTree::create(Pool::simple(1 << 23), 64, 4096);
+    let pm = PmdkSkipList::create(Pool::simple(1 << 23), 16);
+    for k in (2..=1000u64).step_by(2) {
+        ups.insert(k, k);
+        bz.insert(k, k);
+        pm.insert(k, k);
+    }
+    for (from, limit) in [(1u64, 10usize), (500, 7), (999, 5), (1001, 3)] {
+        let want: Vec<(u64, u64)> = (2..=1000u64)
+            .step_by(2)
+            .filter(|&k| k >= from)
+            .take(limit)
+            .map(|k| (k, k))
+            .collect();
+        assert_eq!(ups.scan(from, limit), want, "ups scan({from},{limit})");
+        assert_eq!(bz.scan(from, limit), want, "bz scan({from},{limit})");
+        assert_eq!(pm.scan(from, limit), want, "pm scan({from},{limit})");
+    }
+}
+
+#[test]
+fn concurrent_workload_a_leaves_all_loaded_keys_live() {
+    let w = generate(ycsb::WORKLOAD_A, 5_000, 40_000, 4, 3);
+    for (name, s) in structures() {
+        for &(k, v) in &w.load {
+            s.insert(k, v);
+        }
+        std::thread::scope(|sc| {
+            for (t, trace) in w.ops.iter().enumerate() {
+                let s = &s;
+                sc.spawn(move || {
+                    pmem::thread::register(t, 0);
+                    for op in trace {
+                        match *op {
+                            Op::Read(k) => {
+                                std::hint::black_box(s.get(k));
+                            }
+                            Op::Update(k, v) | Op::Insert(k, v) | Op::Rmw(k, v) => {
+                                s.insert(k, v);
+                            }
+                            Op::Scan(..) => {}
+                        }
+                    }
+                });
+            }
+        });
+        // A has no removals: every loaded key must still resolve.
+        for &(k, _) in &w.load {
+            assert!(s.get(k).is_some(), "{name}: loaded key {k} vanished");
+        }
+    }
+}

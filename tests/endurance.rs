@@ -1,0 +1,93 @@
+//! Long-running endurance sweeps. Ignored by default (minutes of
+//! runtime); run explicitly with
+//! `cargo test --release --test endurance -- --ignored`.
+
+use std::sync::Arc;
+
+use pmem::{run_crashable, PersistenceMode};
+use upskiplist::{ListBuilder, ListConfig};
+
+/// Hundreds of crash/recover cycles with invariant checks each round.
+#[test]
+#[ignore = "minutes-long endurance sweep"]
+fn hundred_crash_recover_cycles() {
+    pmem::crash::silence_crash_panics();
+    let list = ListBuilder {
+        list: ListConfig::new(14, 16),
+        mode: PersistenceMode::Tracked,
+        pool_words: 1 << 23,
+        ..ListBuilder::default()
+    }
+    .create();
+    let mut base = 0u64;
+    for round in 0..100u64 {
+        let controller = Arc::clone(list.space().pool(0).crash_controller());
+        controller.arm_after(10_000 + (round * 3_001) % 50_000);
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let list = Arc::clone(&list);
+                s.spawn(move || {
+                    pmem::thread::register(t as usize, 0);
+                    let mut k = base + t + 1;
+                    let _ = run_crashable(|| loop {
+                        list.insert(k % 5_000 + 1, k + 1);
+                        k += 4;
+                    });
+                    pmem::discard_pending();
+                });
+            }
+        });
+        controller.disarm();
+        for pool in list.space().pools() {
+            pool.simulate_crash();
+        }
+        list.recover();
+        if round % 10 == 0 {
+            list.check_invariants();
+        }
+        base += 100_000;
+    }
+    list.check_invariants();
+    // Structure still fully functional.
+    for k in 1..=5_000u64 {
+        list.insert(k, 1);
+    }
+    assert_eq!(list.count_live(), 5_000);
+}
+
+/// Half a million keys at the evaluation's node size: exercises chunk
+/// provisioning at scale and deep towers.
+#[test]
+#[ignore = "large-memory scale test"]
+fn half_million_keys_at_paper_node_size() {
+    let list = ListBuilder {
+        list: ListConfig::new(20, 256),
+        pool_words: 1 << 24,
+        blocks_per_chunk: 512,
+        num_arenas: 8,
+        ..ListBuilder::default()
+    }
+    .create();
+    let n = 500_000u64;
+    std::thread::scope(|s| {
+        for t in 0..4u64 {
+            let list = Arc::clone(&list);
+            s.spawn(move || {
+                pmem::thread::register(t as usize, 0);
+                let mut k = t + 1;
+                while k <= n {
+                    list.insert(ycsb::key_of(k), k);
+                    k += 4;
+                }
+            });
+        }
+    });
+    let mut miss = 0;
+    for k in 1..=n {
+        if list.get(ycsb::key_of(k)) != Some(k) {
+            miss += 1;
+        }
+    }
+    assert_eq!(miss, 0, "{miss} of {n} keys lost at scale");
+    list.check_invariants();
+}
