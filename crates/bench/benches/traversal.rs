@@ -1,0 +1,51 @@
+//! Traversal fast path: single-key descents with the search fingers on vs
+//! off, and batched lookups at several batch sizes. Complements the
+//! `traversal` binary (which also reports pmem reads per op) with
+//! criterion-grade timing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{Rng, SeedableRng};
+
+const RECORDS: u64 = 100_000;
+
+fn loaded_list(fingers: bool) -> std::sync::Arc<upskiplist::UpSkipList> {
+    let d = bench::Deployment::simple(RECORDS);
+    let list = bench::build_upskiplist_traversal(&d, 256, fingers);
+    for i in 0..RECORDS {
+        list.insert(ycsb::key_of(i), i + 1);
+    }
+    list
+}
+
+fn bench_traversal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("traversal");
+    group.sample_size(20);
+
+    for (name, fingers) in [("seed", false), ("fingered", true)] {
+        let list = loaded_list(fingers);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        group.bench_with_input(BenchmarkId::new("get", name), &list, |b, l| {
+            b.iter(|| {
+                let k = ycsb::key_of(rng.gen_range(0..RECORDS));
+                std::hint::black_box(l.get(k))
+            })
+        });
+    }
+
+    let list = loaded_list(true);
+    for batch in [8usize, 32, 128] {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        group.bench_with_input(BenchmarkId::new("get_batch", batch), &list, |b, l| {
+            b.iter(|| {
+                let keys: Vec<u64> = (0..batch)
+                    .map(|_| ycsb::key_of(rng.gen_range(0..RECORDS)))
+                    .collect();
+                std::hint::black_box(l.get_batch(&keys))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_traversal);
+criterion_main!(benches);

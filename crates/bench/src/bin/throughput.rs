@@ -5,6 +5,8 @@
 //! cargo run --release -p bench --bin throughput -- \
 //!     --workloads A,B,C,D --threads 1,2,4,8 --records 200000 --ops 400000
 //! ```
+//! `--batch N` groups consecutive reads into `get_batch` calls of up to N
+//! keys (writes flush the pending batch, preserving per-thread order).
 //! Emits CSV: `workload,structure,threads,mops`.
 
 use std::sync::Arc;
@@ -24,6 +26,7 @@ fn main() {
     let workloads = args.list("workloads", "A,B,C,D");
     let structures = args.list("structures", "upskiplist,bztree,pmdkskip");
     let desc_count = args.usize("descriptors", 500_000.min(records as usize));
+    let batch = args.usize("batch", 1);
 
     println!("workload,structure,threads,mops");
     for wname in &workloads {
@@ -46,7 +49,11 @@ fn main() {
                     "bztree" => "bztree",
                     _ => "pmdkskip",
                 };
-                let r = bench::run(&index, &w, 1, false, name);
+                let r = if batch > 1 {
+                    bench::run_batched(&index, &w, 1, batch, name)
+                } else {
+                    bench::run(&index, &w, 1, false, name)
+                };
                 println!("{},{},{},{:.4}", spec.name, name, t, r.mops());
             }
         }

@@ -1,0 +1,145 @@
+//! E10 — traversal fast path: per-thread search fingers and batched reads
+//! vs the seed head-descent, measured by throughput *and* by pmem reads
+//! per operation (the pool stats counters are the simulator's ground truth
+//! for how many PMEM words a descent touches).
+//!
+//! ```text
+//! cargo run --release -p bench --bin traversal -- \
+//!     --records 100000 --ops 200000 --threads 1,4 --batch 32 \
+//!     --json results/BENCH_traversal.json
+//! ```
+//! Emits CSV: `variant,threads,batch,mops,pmem_reads_per_op`; `--json`
+//! additionally writes the same rows as a machine-readable report.
+
+use bench::{build_upskiplist_traversal, Args, Deployment};
+use upskiplist::UpSkipList;
+use ycsb::{Distribution, WorkloadSpec};
+
+/// Read-only uniform workload: every key equally likely, so finger hits
+/// come only from batch sorting and locality, not from skew.
+const UNIFORM_READS: WorkloadSpec = WorkloadSpec {
+    name: "C-uniform",
+    read_pct: 100,
+    update_pct: 0,
+    insert_pct: 0,
+    scan_pct: 0,
+    rmw_pct: 0,
+    distribution: Distribution::Uniform,
+};
+
+fn pmem_reads(list: &UpSkipList) -> u64 {
+    list.space()
+        .pools()
+        .iter()
+        .map(|p| p.stats().snapshot().reads)
+        .sum()
+}
+
+struct Row {
+    variant: &'static str,
+    threads: usize,
+    batch: usize,
+    mops: f64,
+    reads_per_op: f64,
+}
+
+fn measure(
+    variant: &'static str,
+    fingers: bool,
+    batch: usize,
+    records: u64,
+    ops: u64,
+    threads: usize,
+    keys_per_node: usize,
+) -> Row {
+    let d = Deployment::simple(records);
+    let index = build_upskiplist_traversal(&d, keys_per_node, fingers);
+    let w = ycsb::generate(UNIFORM_READS, records, ops, threads, 42);
+    bench::load(&index, &w, threads.max(4), 1);
+    // Warm-up pass, then snapshot the counters around the measured run so
+    // load/warm-up traffic is excluded.
+    let _ = bench::run(&index, &w, 1, false, "warmup");
+    let before = pmem_reads(&index);
+    let r = if batch > 1 {
+        bench::run_batched(&index, &w, 1, batch, variant)
+    } else {
+        bench::run(&index, &w, 1, false, variant)
+    };
+    let after = pmem_reads(&index);
+    Row {
+        variant,
+        threads,
+        batch,
+        mops: r.mops(),
+        reads_per_op: (after - before) as f64 / r.ops as f64,
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let records = args.u64("records", 100_000);
+    let ops = args.u64("ops", 200_000);
+    let threads = if args.get("threads").is_some() {
+        args.usize_list("threads", "")
+    } else {
+        vec![1, 4]
+    };
+    let batches = args.usize_list("batch", "8,32,128");
+    let keys_per_node = args.usize("keys-per-node", 256);
+
+    let mut variants: Vec<(&'static str, bool, usize)> =
+        vec![("seed", false, 1), ("fingered", true, 1)];
+    for &b in &batches {
+        variants.push(("batched", true, b.max(2)));
+    }
+    let mut rows = Vec::new();
+    println!("variant,threads,batch,mops,pmem_reads_per_op");
+    for &t in &threads {
+        for &(variant, fingers, b) in &variants {
+            let row = measure(variant, fingers, b, records, ops, t, keys_per_node);
+            println!(
+                "{},{},{},{:.4},{:.2}",
+                row.variant, row.threads, row.batch, row.mops, row.reads_per_op
+            );
+            rows.push(row);
+        }
+    }
+
+    if let Some(path) = args.get("json") {
+        let mut out = String::from("{\n");
+        out.push_str("  \"experiment\": \"traversal\",\n");
+        out.push_str(&format!("  \"records\": {records},\n"));
+        out.push_str(&format!("  \"ops\": {ops},\n"));
+        out.push_str(&format!("  \"keys_per_node\": {keys_per_node},\n"));
+        out.push_str("  \"results\": [\n");
+        for (i, r) in rows.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"variant\": \"{}\", \"threads\": {}, \"batch\": {}, \"mops\": {:.4}, \"pmem_reads_per_op\": {:.2}}}{}\n",
+                r.variant,
+                r.threads,
+                r.batch,
+                r.mops,
+                r.reads_per_op,
+                if i + 1 == rows.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        std::fs::write(path, out).expect("write json report");
+        eprintln!("wrote {path}");
+    }
+
+    // The whole point of the fast path: fingered + batched descents must
+    // touch fewer PMEM words per read than the seed head-descent. Compare
+    // at the last thread count, largest batch.
+    let seed = rows.iter().rev().find(|r| r.variant == "seed").unwrap();
+    let batched = rows.iter().rev().find(|r| r.variant == "batched").unwrap();
+    eprintln!(
+        "reads/op: seed {:.2} -> batched {:.2} ({:.1}% of seed)",
+        seed.reads_per_op,
+        batched.reads_per_op,
+        100.0 * batched.reads_per_op / seed.reads_per_op
+    );
+}

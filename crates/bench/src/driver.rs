@@ -164,6 +164,74 @@ pub fn run<I: KvIndex + ?Sized>(
     }
 }
 
+/// Play back the run phase with consecutive reads grouped into
+/// [`KvIndex::get_batch`] calls of up to `batch` keys. Writes and scans
+/// flush the pending batch first, so per-thread program order is preserved
+/// and every operation still executes exactly once. Latency capture is not
+/// supported in batched mode (a batch has one timestamp, not one per op).
+pub fn run_batched<I: KvIndex + ?Sized>(
+    index: &Arc<I>,
+    workload: &Workload,
+    numa_nodes: u16,
+    batch: usize,
+    structure: &'static str,
+) -> RunResult {
+    let threads = workload.ops.len();
+    let batch = batch.max(1);
+    let started = Instant::now();
+    std::thread::scope(|s| {
+        for (t, trace) in workload.ops.iter().enumerate() {
+            let index = Arc::clone(index);
+            s.spawn(move || {
+                pmem::thread::register(t, (t as u16) % numa_nodes.max(1));
+                let mut pending: Vec<u64> = Vec::with_capacity(batch);
+                for op in trace {
+                    if let Op::Read(k) = *op {
+                        pending.push(k);
+                        if pending.len() == batch {
+                            std::hint::black_box(index.get_batch(&pending));
+                            pending.clear();
+                        }
+                        continue;
+                    }
+                    if !pending.is_empty() {
+                        std::hint::black_box(index.get_batch(&pending));
+                        pending.clear();
+                    }
+                    match *op {
+                        Op::Read(_) => unreachable!("handled above"),
+                        Op::Scan(k, n) => {
+                            std::hint::black_box(index.scan(k, n as usize));
+                        }
+                        Op::Rmw(k, v) => {
+                            std::hint::black_box(index.get(k));
+                            index.insert(k, v);
+                        }
+                        Op::Update(k, v) | Op::Insert(k, v) => {
+                            index.insert(k, v);
+                        }
+                    }
+                }
+                if !pending.is_empty() {
+                    std::hint::black_box(index.get_batch(&pending));
+                }
+            });
+        }
+    });
+    let seconds = started.elapsed().as_secs_f64();
+    let ops: u64 = workload.ops.iter().map(|t| t.len() as u64).sum();
+    RunResult {
+        structure,
+        workload: workload.spec.name,
+        threads,
+        ops,
+        seconds,
+        read_latencies: Vec::new(),
+        update_latencies: Vec::new(),
+        insert_latencies: Vec::new(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -191,5 +259,19 @@ mod tests {
         assert!(r.mops() > 0.0);
         assert!(!r.read_latencies.is_empty());
         assert!(!r.update_latencies.is_empty());
+    }
+
+    #[test]
+    fn batched_run_executes_every_op() {
+        let d = Deployment::simple(1000);
+        let idx = build_upskiplist(&d, 16);
+        let w = generate(WORKLOAD_A, 1000, 4000, 4, 7);
+        load(&idx, &w, 4, 1);
+        // Batch size chosen not to divide the per-thread op count, so the
+        // trailing partial batch is exercised too.
+        let r = run_batched(&idx, &w, 1, 7, "upskiplist");
+        assert_eq!(r.ops, 4000);
+        assert!(r.mops() > 0.0);
+        idx.check_invariants();
     }
 }

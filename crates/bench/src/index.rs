@@ -18,6 +18,11 @@ pub trait KvIndex: Send + Sync {
     /// Range scan from `from`, up to `limit` records (workload E).
     /// Returns the number of records visited.
     fn scan(&self, from: u64, limit: usize) -> usize;
+    /// Batched lookup, results in input order. The default loops
+    /// [`KvIndex::get`]; structures with a native batch path override it.
+    fn get_batch(&self, keys: &[u64]) -> Vec<Option<u64>> {
+        keys.iter().map(|&k| self.get(k)).collect()
+    }
 }
 
 impl KvIndex for UpSkipList {
@@ -32,6 +37,9 @@ impl KvIndex for UpSkipList {
     }
     fn scan(&self, from: u64, limit: usize) -> usize {
         UpSkipList::scan(self, from, limit).len()
+    }
+    fn get_batch(&self, keys: &[u64]) -> Vec<Option<u64>> {
+        UpSkipList::get_batch(self, keys)
     }
 }
 
@@ -118,12 +126,39 @@ pub fn build_upskiplist_opts(
     sorted_lookups: bool,
     evict_one_in: u32,
 ) -> Arc<UpSkipList> {
-    // Tower height sized to the expected node count (the thesis tunes its
-    // parameters per machine, §5.1.2; 32 levels over ~400 K nodes there).
+    let mut cfg = sized_config(d, keys_per_node);
+    cfg.sorted_lookups = sorted_lookups;
+    sized_builder(d, cfg, evict_one_in, false).create()
+}
+
+/// UPSkipList deployment with pmem stats counters enabled and the search
+/// fingers toggleable — the traversal experiment compares fingered descents
+/// against the seed head-descent by pmem reads per operation.
+pub fn build_upskiplist_traversal(
+    d: &Deployment,
+    keys_per_node: usize,
+    fingers: bool,
+) -> Arc<UpSkipList> {
+    let mut cfg = sized_config(d, keys_per_node);
+    cfg.fingers = fingers;
+    sized_builder(d, cfg, 0, true).create()
+}
+
+/// Tower height sized to the expected node count (the thesis tunes its
+/// parameters per machine, §5.1.2; 32 levels over ~400 K nodes there).
+fn sized_config(d: &Deployment, keys_per_node: usize) -> ListConfig {
     let nodes = (d.records * 3 / 2) / keys_per_node as u64 + 64;
     let height = (64 - u64::leading_zeros(nodes.max(2)) as usize + 2).clamp(8, 32);
-    let mut cfg = ListConfig::new(height, keys_per_node);
-    cfg.sorted_lookups = sorted_lookups;
+    ListConfig::new(height, keys_per_node)
+}
+
+fn sized_builder(
+    d: &Deployment,
+    cfg: ListConfig,
+    evict_one_in: u32,
+    collect_stats: bool,
+) -> ListBuilder {
+    let nodes = (d.records * 3 / 2) / cfg.keys_per_node as u64 + 64;
     let node_words = upskiplist::layout::node_words(&cfg).div_ceil(8) * 8;
     let blocks_per_chunk = 512.min(nodes.max(16));
     let chunk_words = blocks_per_chunk * node_words;
@@ -144,9 +179,8 @@ pub fn build_upskiplist_opts(
         evict_one_in,
         num_arenas: 8,
         blocks_per_chunk,
-        collect_stats: false,
+        collect_stats,
     }
-    .create()
 }
 
 /// A pool for single-pool baselines.

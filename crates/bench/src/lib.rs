@@ -10,14 +10,16 @@
 //! * `recovery` — Table 5.4 (post-crash reconnection time)
 //! * `crash_test` — Chapter 6 (crash injection + strict-linearizability
 //!   analysis)
+//! * `traversal` — E-series extension: fingered/batched descents vs the
+//!   seed head-descent (throughput and pmem reads per op)
 
 pub mod args;
 pub mod driver;
 pub mod index;
 
 pub use args::{default_thread_sweep, Args};
-pub use driver::{load, percentile, run, RunResult};
+pub use driver::{load, percentile, run, run_batched, RunResult};
 pub use index::{
-    build_bztree, build_pmdkskip, build_pool, build_upskiplist, build_upskiplist_opts, Deployment,
-    KvIndex,
+    build_bztree, build_pmdkskip, build_pool, build_upskiplist, build_upskiplist_opts,
+    build_upskiplist_traversal, Deployment, KvIndex,
 };

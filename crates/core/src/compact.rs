@@ -37,6 +37,10 @@ impl UpSkipList {
     /// maintenance window right after recovery). Returns the number of
     /// nodes reclaimed.
     pub fn compact(&self) -> usize {
+        // Compaction is the one path that physically frees nodes, which the
+        // epoch protocol does not cover — drop every search finger before
+        // any block can be recycled.
+        self.fingers.invalidate_all();
         let epoch = self.epoch();
         let mut reclaimed = 0;
         let mut pred = self.head;

@@ -28,6 +28,13 @@ pub struct ListConfig {
     /// optimization the thesis lists as future work in Chapter 7. Off by
     /// default to match the evaluated algorithm.
     pub sorted_lookups: bool,
+    /// Keep per-thread *search fingers*: volatile caches of a recent
+    /// traversal's predecessor towers that let the next descent start from
+    /// the deepest still-valid hint instead of the head (*Skiplists with
+    /// Foresight*'s optimization, applied to the PMEM descent). Fingers are
+    /// DRAM-only hints, invalidated by epoch bumps and validated by the
+    /// split-count protocol, so recoverability is untouched. On by default.
+    pub fingers: bool,
 }
 
 impl Default for ListConfig {
@@ -36,6 +43,7 @@ impl Default for ListConfig {
             max_height: MAX_HEIGHT,
             keys_per_node: 16,
             sorted_lookups: false,
+            fingers: true,
         }
     }
 }
@@ -55,6 +63,7 @@ impl ListConfig {
             max_height,
             keys_per_node,
             sorted_lookups: false,
+            fingers: true,
         }
     }
 
@@ -64,10 +73,20 @@ impl ListConfig {
         self
     }
 
-    /// Pack into one root word.
+    /// Disable the per-thread search-finger cache (the seed head-descent
+    /// path; benchmarks use it as the comparison baseline).
+    pub fn without_fingers(mut self) -> Self {
+        self.fingers = false;
+        self
+    }
+
+    /// Pack into one root word. The finger bit is stored inverted so roots
+    /// formatted before the option existed (bit 61 = 0) unpack with the
+    /// default (`fingers = true`).
     pub fn pack(&self) -> u64 {
         (self.max_height as u64)
             | ((self.keys_per_node as u64) << 8)
+            | ((!self.fingers as u64) << 61)
             | ((self.sorted_lookups as u64) << 62)
     }
 
@@ -75,6 +94,7 @@ impl ListConfig {
     pub fn unpack(word: u64) -> Self {
         let mut cfg = Self::new((word & 0xff) as usize, ((word >> 8) & 0xffff_ffff) as usize);
         cfg.sorted_lookups = word >> 62 & 1 == 1;
+        cfg.fingers = word >> 61 & 1 == 0;
         cfg
     }
 }
@@ -88,6 +108,19 @@ mod tests {
     fn pack_roundtrip() {
         let c = ListConfig::new(17, 256);
         assert_eq!(ListConfig::unpack(c.pack()), c);
+        let c = ListConfig::new(17, 256)
+            .with_sorted_lookups()
+            .without_fingers();
+        assert_eq!(ListConfig::unpack(c.pack()), c);
+    }
+
+    #[test]
+    fn legacy_roots_unpack_with_fingers_enabled() {
+        // A root word packed before the finger option existed has bit 61
+        // clear; it must unpack to the new default rather than silently
+        // disabling the fast path.
+        let legacy = (17u64) | (256u64 << 8);
+        assert!(ListConfig::unpack(legacy).fingers);
     }
 
     #[test]

@@ -1,0 +1,306 @@
+//! Per-thread *search fingers*: volatile caches of a recent traversal's
+//! predecessor towers.
+//!
+//! A finished descent remembers, for every level, the predecessor it ended
+//! on and that predecessor's immutable `keys[0]`. The next traversal by the
+//! same thread may then *jump* straight to a remembered predecessor instead
+//! of walking from the head — the classic skip-list finger optimization,
+//! adapted to UPSkipList's recoverable descent:
+//!
+//! - **Fingers live only in DRAM.** Nothing about them is persisted, so a
+//!   crash discards them wholesale and recovery (§4.1.5) is untouched.
+//! - **Epoch bumps invalidate.** Each finger records the failure-free epoch
+//!   it was taken in; `recover`/`open` bump the list epoch, so every stale
+//!   finger fails validation and the first post-crash descent starts from
+//!   the head, exactly as the seed algorithm.
+//! - **Physical unlinking invalidates.** During normal operation nodes are
+//!   never unlinked (removes tombstone, splits only add), so a remembered
+//!   predecessor stays linked at the level it was reached on. The one
+//!   exception — quiescent [`UpSkipList::compact`] — frees nodes, so it
+//!   bumps a volatile generation counter that every finger must match.
+//! - **Jumps re-read the target's header.** A jump adopts the target's
+//!   *current* epoch/split-count/`keys[0]` line, preserving the Function 9
+//!   split-count snapshot protocol verbatim; a stale-epoch target simply
+//!   disqualifies the hint (the normal descent will claim it if relevant).
+//!
+//! Slots are per registered thread id (mod [`pmem::MAX_THREADS`]), owned by
+//! the list handle so the cache cannot dangle across handle drops. Access
+//! uses `try_lock`: slots are uncontended except under id aliasing, where
+//! skipping the hint beats waiting for it.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use riv::RivPtr;
+
+use crate::config::MAX_HEIGHT;
+use crate::list::UpSkipList;
+
+/// One thread's remembered predecessor tower.
+#[derive(Debug, Clone)]
+pub(crate) struct Finger {
+    /// Failure-free epoch the recording traversal ran in.
+    pub epoch: u64,
+    /// [`FingerTable`] generation at recording time.
+    pub gen: u64,
+    /// Lowest level for which `preds`/`key0s` hold an entry (an early-found
+    /// descent never reaches level 0).
+    pub low_level: usize,
+    /// Per-level predecessor the descent ended on (head entries excluded by
+    /// the jump guard, not by construction).
+    pub preds: [RivPtr; MAX_HEIGHT],
+    /// The predecessors' immutable `keys[0]`, so jump candidacy is decided
+    /// without touching PMEM.
+    pub key0s: [u64; MAX_HEIGHT],
+}
+
+/// Slot table owned by one list handle.
+pub(crate) struct FingerTable {
+    slots: Box<[Mutex<Option<Finger>>]>,
+    /// Bumped whenever nodes may be physically freed outside the epoch
+    /// protocol (quiescent compaction); readers treat a mismatch as "no
+    /// finger".
+    gen: AtomicU64,
+}
+
+impl std::fmt::Debug for FingerTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FingerTable")
+            .field("slots", &self.slots.len())
+            .field("gen", &self.gen.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Default for FingerTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FingerTable {
+    pub fn new() -> Self {
+        Self {
+            slots: (0..pmem::MAX_THREADS).map(|_| Mutex::new(None)).collect(),
+            gen: AtomicU64::new(0),
+        }
+    }
+
+    /// Current structure generation.
+    #[inline]
+    pub fn gen(&self) -> u64 {
+        self.gen.load(Ordering::Acquire)
+    }
+
+    /// Invalidate every outstanding finger (nodes are about to be freed).
+    pub fn invalidate_all(&self) {
+        self.gen.fetch_add(1, Ordering::AcqRel);
+    }
+
+    #[inline]
+    fn slot(&self) -> &Mutex<Option<Finger>> {
+        &self.slots[pmem::thread::current().id % self.slots.len()]
+    }
+}
+
+impl UpSkipList {
+    /// The calling thread's finger, if it is still valid for the current
+    /// epoch and structure generation. Stale fingers are cleared in place.
+    pub(crate) fn finger_load(&self, epoch: u64) -> Option<Finger> {
+        let slot = self.fingers.slot();
+        let mut guard = slot.try_lock().ok()?;
+        match guard.as_ref() {
+            Some(f) if f.epoch == epoch && f.gen == self.fingers.gen() => Some(f.clone()),
+            Some(_) => {
+                *guard = None;
+                None
+            }
+            None => None,
+        }
+    }
+
+    /// Remember the predecessor tower a finished descent produced.
+    /// `preds[low_level..]` and `key0s[low_level..]` must be filled.
+    pub(crate) fn finger_record(
+        &self,
+        epoch: u64,
+        low_level: usize,
+        preds: &[RivPtr; MAX_HEIGHT],
+        key0s: &[u64; MAX_HEIGHT],
+    ) {
+        let slot = self.fingers.slot();
+        if let Ok(mut guard) = slot.try_lock() {
+            *guard = Some(Finger {
+                epoch,
+                gen: self.fingers.gen(),
+                low_level,
+                preds: *preds,
+                key0s: *key0s,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use crate::config::ListConfig;
+    use crate::list::{ListBuilder, UpSkipList};
+
+    fn small_list() -> Arc<UpSkipList> {
+        ListBuilder {
+            list: ListConfig::new(8, 4),
+            ..ListBuilder::default()
+        }
+        .create()
+    }
+
+    #[test]
+    fn traversals_record_a_finger() {
+        let l = small_list();
+        l.insert(10, 100);
+        assert_eq!(l.get(10), Some(100));
+        let f = l.finger_load(l.epoch()).expect("descent recorded a finger");
+        assert_eq!(f.epoch, l.epoch());
+        assert!(f.low_level < l.config().max_height);
+    }
+
+    #[test]
+    fn epoch_bump_invalidates_fingers() {
+        let l = small_list();
+        l.insert(10, 100);
+        assert_eq!(l.get(10), Some(100));
+        assert!(l.finger_load(l.epoch()).is_some());
+        // Simulated restart: the epoch bump must orphan every finger so the
+        // first post-crash descent starts from the head and performs the
+        // deferred recovery claims.
+        l.recover();
+        assert!(
+            l.finger_load(l.epoch()).is_none(),
+            "stale-epoch finger survived recovery"
+        );
+        assert_eq!(l.get(10), Some(100));
+        l.check_invariants();
+    }
+
+    #[test]
+    fn compaction_invalidates_fingers_before_freeing_nodes() {
+        let l = small_list();
+        for k in 1..=40u64 {
+            l.insert(k, k);
+        }
+        // Park this thread's finger on nodes that are about to die.
+        assert_eq!(l.get(35), Some(35));
+        assert!(l.finger_load(l.epoch()).is_some());
+        for k in 20..=40u64 {
+            l.remove(k);
+        }
+        let reclaimed = l.compact();
+        assert!(reclaimed > 0, "compaction reclaimed nothing");
+        assert!(
+            l.finger_load(l.epoch()).is_none(),
+            "finger can dangle into a freed block"
+        );
+        // Reuse of the freed blocks must not be navigated via old hints.
+        for k in 100..=140u64 {
+            l.insert(k, k + 1);
+        }
+        for k in 100..=140u64 {
+            assert_eq!(l.get(k), Some(k + 1));
+        }
+        assert_eq!(l.get(20), None);
+        l.check_invariants();
+    }
+
+    #[test]
+    fn fingers_stay_correct_across_node_splits() {
+        // keys_per_node = 4: inserting interleaved keys forces repeated
+        // splits of exactly the nodes the finger points at. The split-count
+        // protocol plus immutable keys[0] must keep every hinted descent
+        // correct.
+        let l = small_list();
+        for k in (10..=400u64).step_by(10) {
+            l.insert(k, k);
+        }
+        for k in (10..=400u64).step_by(10) {
+            assert_eq!(l.get(k), Some(k), "pre-split key {k}");
+            // Splits happen right next to the freshly recorded finger.
+            for d in 1..=4u64 {
+                l.insert(k + d, k + d);
+            }
+            assert_eq!(l.get(k + 4), Some(k + 4), "post-split key {}", k + 4);
+        }
+        for k in (10..=400u64).step_by(10) {
+            for d in 0..=4u64 {
+                assert_eq!(l.get(k + d), Some(k + d));
+            }
+        }
+        l.check_invariants();
+    }
+
+    #[test]
+    fn remove_then_reinsert_is_seen_through_the_finger() {
+        let l = small_list();
+        for k in 1..=32u64 {
+            l.insert(k, k);
+        }
+        // get → remove → get → insert → get, all by one thread, so every
+        // descent after the first starts from a finger parked on the key's
+        // own node.
+        for k in 1..=32u64 {
+            assert_eq!(l.get(k), Some(k));
+            assert_eq!(l.remove(k), Some(k));
+            assert_eq!(l.get(k), None, "tombstoned key {k} visible via finger");
+            assert_eq!(l.insert(k, k * 7), None);
+            assert_eq!(l.get(k), Some(k * 7), "reinserted key {k} missed");
+        }
+        l.check_invariants();
+    }
+
+    #[test]
+    fn disabled_fingers_record_nothing() {
+        let l = ListBuilder {
+            list: ListConfig::new(8, 4).without_fingers(),
+            ..ListBuilder::default()
+        }
+        .create();
+        l.insert(10, 100);
+        assert_eq!(l.get(10), Some(100));
+        assert!(l.finger_load(l.epoch()).is_none());
+    }
+
+    #[test]
+    fn concurrent_mixed_ops_with_fingers_match_oracle() {
+        // Hammer the hinted descent from several threads over disjoint key
+        // ranges, then verify every stream's final state exactly.
+        let l = small_list();
+        let threads = 4u64;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let l = Arc::clone(&l);
+                s.spawn(move || {
+                    pmem::thread::register(t as usize, 0);
+                    let base = t * 10_000;
+                    for i in 1..=500u64 {
+                        let k = base + i;
+                        assert_eq!(l.insert(k, k), None);
+                        assert_eq!(l.get(k), Some(k));
+                        if i % 3 == 0 {
+                            assert_eq!(l.remove(k), Some(k));
+                        }
+                    }
+                });
+            }
+        });
+        for t in 0..threads {
+            let base = t * 10_000;
+            for i in 1..=500u64 {
+                let k = base + i;
+                let expect = if i % 3 == 0 { None } else { Some(k) };
+                assert_eq!(l.get(k), expect);
+            }
+        }
+        l.check_invariants();
+    }
+}

@@ -42,8 +42,10 @@
 //! assert_eq!(list.get(7), None);
 //! ```
 
+pub mod batch;
 pub mod compact;
 pub mod config;
+pub(crate) mod finger;
 pub mod iter;
 pub mod layout;
 pub mod list;

@@ -10,6 +10,7 @@ use pmem::{CrashController, LatencyModel, PersistenceMode, Placement, Pool};
 use riv::{RivPtr, RivSpace};
 
 use crate::config::{ListConfig, KEY_INF, KEY_NULL, TOMBSTONE};
+use crate::finger::FingerTable;
 use crate::layout::*;
 
 /// A PMEM-resident, recoverable, NUMA-aware lock-free skip list
@@ -24,6 +25,9 @@ pub struct UpSkipList {
     pub(crate) head: RivPtr,
     pub(crate) tail: RivPtr,
     pub(crate) epoch: AtomicU64,
+    /// Volatile per-thread search-finger cache (never persisted; see
+    /// `finger` module docs for the validation protocol).
+    pub(crate) fingers: FingerTable,
 }
 
 impl std::fmt::Debug for UpSkipList {
@@ -151,6 +155,7 @@ impl UpSkipList {
             head: RivPtr::NULL,
             tail: RivPtr::NULL,
             epoch: AtomicU64::new(epoch),
+            fingers: FingerTable::new(),
         });
         // Sentinels (§4.2). The tail is created first so the head can link
         // to it at every level.
@@ -200,6 +205,7 @@ impl UpSkipList {
             alloc,
             cfg,
             epoch: AtomicU64::new(epoch),
+            fingers: FingerTable::new(),
         })
     }
 

@@ -52,11 +52,64 @@ impl UpSkipList {
         let mut recoveries_done = 0u32;
         'outer: loop {
             let epoch = self.epoch();
+            let hint = if self.cfg.fingers {
+                self.finger_load(epoch)
+            } else {
+                None
+            };
+            let mut hint_live = hint.is_some();
             let mut preds = [RivPtr::NULL; MAX_HEIGHT];
             let mut succs = [RivPtr::NULL; MAX_HEIGHT];
+            let mut key0s = [KEY_NULL; MAX_HEIGHT];
             let mut split_count = 0u64;
             let mut pred = self.head;
+            let mut pred_k0 = KEY_NULL;
             for level in (0..=top).rev() {
+                // Finger jump: adopt the remembered predecessor for this
+                // level when it advances past the inherited one. The jump
+                // target was reached at this level by the recording descent
+                // and nodes are never unlinked mid-epoch, so it is still
+                // linked here; re-reading its header keeps the split-count
+                // snapshot protocol intact and lets a stale epoch disqualify
+                // the hint (normal descent claims such nodes with full
+                // pred/succ context).
+                if hint_live {
+                    let f = hint.as_ref().expect("hint_live implies hint");
+                    if level >= f.low_level {
+                        let hp = f.preds[level];
+                        let hk0 = f.key0s[level];
+                        if hk0 <= key && hk0 > pred_k0 && hp != self.head {
+                            let mut hdr = [0u64; crate::layout::HEADER_WORDS];
+                            self.space().read_slice(hp, &mut hdr);
+                            if hdr[crate::layout::N_EPOCH as usize] == epoch
+                                && hdr[crate::layout::N_KEYS as usize] == hk0
+                            {
+                                split_count = hdr[crate::layout::N_SPLIT_COUNT as usize];
+                                pred = hp;
+                                pred_k0 = hk0;
+                                if hk0 == key {
+                                    // Jumped straight into the containing
+                                    // node — mirror the step-in return.
+                                    preds[level] = pred;
+                                    succs[level] = self.next(pred, level);
+                                    key0s[level] = hk0;
+                                    if self.cfg.fingers {
+                                        self.finger_record(epoch, level, &preds, &key0s);
+                                    }
+                                    return Traversal {
+                                        preds,
+                                        succs,
+                                        split_count,
+                                        key_index: 0,
+                                        level_found: level,
+                                    };
+                                }
+                            } else {
+                                hint_live = false;
+                            }
+                        }
+                    }
+                }
                 let mut cur = self.next(pred, level);
                 loop {
                     debug_assert!(!cur.is_null(), "broken level {level}");
@@ -80,11 +133,16 @@ impl UpSkipList {
                     if k0 <= key {
                         split_count = cur_split_count;
                         pred = cur;
+                        pred_k0 = k0;
                         cur = self.next(pred, level);
                         if k0 == key {
                             // Stepped into the containing node.
                             preds[level] = pred;
                             succs[level] = cur;
+                            key0s[level] = k0;
+                            if self.cfg.fingers {
+                                self.finger_record(epoch, level, &preds, &key0s);
+                            }
                             return Traversal {
                                 preds,
                                 succs,
@@ -99,8 +157,12 @@ impl UpSkipList {
                 }
                 preds[level] = pred;
                 succs[level] = cur;
+                key0s[level] = pred_k0;
                 if level == 0 && pred != self.head {
                     if let Some(i) = self.scan_internal_keys(pred, key) {
+                        if self.cfg.fingers {
+                            self.finger_record(epoch, 0, &preds, &key0s);
+                        }
                         return Traversal {
                             preds,
                             succs,
@@ -110,6 +172,9 @@ impl UpSkipList {
                         };
                     }
                 }
+            }
+            if self.cfg.fingers {
+                self.finger_record(epoch, 0, &preds, &key0s);
             }
             return Traversal {
                 preds,

@@ -493,7 +493,14 @@ impl Allocator {
     /// `next == 0` is the true tail (pops require `next != 0`, so a tail
     /// cannot be popped), and the next-word is never reused by clients,
     /// so the CAS can never land on live foreign state.
-    fn link_chain_in_tail(&self, _epoch: u64, pool_id: u16, arena: usize, first: RivPtr, last: RivPtr) {
+    fn link_chain_in_tail(
+        &self,
+        _epoch: u64,
+        pool_id: u16,
+        arena: usize,
+        first: RivPtr,
+        last: RivPtr,
+    ) {
         let pool = self.space.pool(pool_id);
         let head_slot = self.layout.arena_head(arena);
         let mut cur = RivPtr::from_raw(pool.read(head_slot));

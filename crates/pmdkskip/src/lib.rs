@@ -474,7 +474,10 @@ mod tests {
             }
         });
         let v = l.get(7).unwrap();
-        assert!((1..6 * 1000 + 201).contains(&v), "value {v} was never written");
+        assert!(
+            (1..6 * 1000 + 201).contains(&v),
+            "value {v} was never written"
+        );
         assert_eq!(l.count_live(), 1);
     }
 

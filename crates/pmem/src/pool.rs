@@ -83,6 +83,9 @@ pub struct Pool {
     latency_enabled: bool,
     evict_one_in: u32,
     collect_stats: bool,
+    /// `collect_stats || latency_enabled`, precomputed so the per-word hot
+    /// path pays a single never-taken branch when both are off.
+    accounting: bool,
     stats: Stats,
 }
 
@@ -115,16 +118,18 @@ impl Pool {
             PersistenceMode::Fast => None,
             PersistenceMode::Tracked => Some(zeroed_words(cfg.len_words)),
         };
+        let latency_enabled = !cfg.latency.is_disabled();
         Arc::new(Self {
             id: cfg.id,
             placement: cfg.placement,
             volatile: zeroed_words(cfg.len_words),
             persisted,
             crash,
-            latency_enabled: !cfg.latency.is_disabled(),
+            latency_enabled,
             latency: cfg.latency,
             evict_one_in: cfg.evict_one_in,
             collect_stats: cfg.collect_stats,
+            accounting: cfg.collect_stats || latency_enabled,
             stats: Stats::default(),
         })
     }
@@ -190,34 +195,61 @@ impl Pool {
         }
     }
 
+    /// Outlined accounting for single-word accesses: the hot path pays one
+    /// fused `accounting` test and jumps here only when stats or the
+    /// latency model are on.
+    #[cold]
+    fn account_word(&self, counter: &AtomicU64, spins: u32, off: u64) {
+        self.count(counter);
+        self.charge(spins, off);
+    }
+
     /// Load the word at `off` (Acquire).
     #[inline]
     pub fn read(&self, off: u64) -> u64 {
         self.crash.check();
-        self.count(&self.stats.reads);
-        self.charge(self.latency.read_spins, off);
+        if self.accounting {
+            self.account_word(&self.stats.reads, self.latency.read_spins, off);
+        }
         self.volatile[off as usize].load(Ordering::Acquire)
     }
 
     /// Sequential bulk load of `out.len()` words starting at `off`,
-    /// modelling a hardware-prefetched streaming scan: accounting and
-    /// latency are charged per cache line touched, not per word (the
-    /// thesis relies on exactly this for multi-key node scans — §4.4
-    /// "hardware fetching the additional cache lines when a sequential
-    /// scan is detected"). Not atomic as a whole; each word is an Acquire
-    /// load, which is what a real scan gets too.
+    /// modelling a hardware-prefetched streaming scan: one crash check for
+    /// the whole slice, and accounting and latency charged per cache line
+    /// touched, not per word (the thesis relies on exactly this for
+    /// multi-key node scans — §4.4 "hardware fetching the additional cache
+    /// lines when a sequential scan is detected"). The line count is added
+    /// to the stats counter with a single RMW and the per-line latency loop
+    /// resolves the thread's NUMA node once, so the copy loop below stays
+    /// free of per-word branches. Not atomic as a whole; each word is an
+    /// Acquire load, which is what a real scan gets too.
     pub fn read_slice(&self, off: u64, out: &mut [u64]) {
         if out.is_empty() {
             return;
         }
         self.crash.check();
-        let lines = crate::line_of(off + out.len() as u64 - 1) - crate::line_of(off) + 1;
-        for l in 0..lines {
-            self.count(&self.stats.reads);
-            self.charge(self.latency.read_spins, off + l * CACHE_LINE_WORDS);
+        if self.accounting {
+            self.account_slice(off, out.len() as u64);
         }
         for (i, slot) in out.iter_mut().enumerate() {
             *slot = self.volatile[off as usize + i].load(Ordering::Acquire);
+        }
+    }
+
+    /// Outlined per-line accounting for streamed reads.
+    #[cold]
+    fn account_slice(&self, off: u64, words: u64) {
+        let lines = crate::line_of(off + words - 1) - crate::line_of(off) + 1;
+        if self.collect_stats {
+            Stats::bump_by(&self.stats.reads, lines);
+        }
+        if self.latency_enabled {
+            let node = thread::current().numa_node;
+            for l in 0..lines {
+                let remote = self.placement.owner_node(off + l * CACHE_LINE_WORDS) != node;
+                self.latency.charge(self.latency.read_spins, remote);
+            }
         }
     }
 
@@ -225,8 +257,9 @@ impl Pool {
     #[inline]
     pub fn write(&self, off: u64, value: u64) {
         self.crash.check();
-        self.count(&self.stats.writes);
-        self.charge(self.latency.write_spins, off);
+        if self.accounting {
+            self.account_word(&self.stats.writes, self.latency.write_spins, off);
+        }
         self.volatile[off as usize].store(value, Ordering::Release);
         self.maybe_evict(off);
     }
@@ -236,8 +269,9 @@ impl Pool {
     #[inline]
     pub fn cas(&self, off: u64, old: u64, new: u64) -> Result<u64, u64> {
         self.crash.check();
-        self.count(&self.stats.cas_ops);
-        self.charge(self.latency.write_spins, off);
+        if self.accounting {
+            self.account_word(&self.stats.cas_ops, self.latency.write_spins, off);
+        }
         let r = self.volatile[off as usize].compare_exchange(
             old,
             new,
@@ -254,24 +288,48 @@ impl Pool {
     #[inline]
     pub fn fetch_add(&self, off: u64, delta: u64) -> u64 {
         self.crash.check();
-        self.count(&self.stats.cas_ops);
-        self.charge(self.latency.write_spins, off);
+        if self.accounting {
+            self.account_word(&self.stats.cas_ops, self.latency.write_spins, off);
+        }
         let prev = self.volatile[off as usize].fetch_add(delta, Ordering::AcqRel);
         self.maybe_evict(off);
         prev
+    }
+
+    /// The single internal CLWB path shared by [`Pool::flush`] and
+    /// [`Pool::flush_range`]: accounts one flush and enqueues `line` for
+    /// the thread's next [`sfence`] — unless the line is already pending,
+    /// in which case re-flushing it is a no-op (a real CLWB of an
+    /// already-written-back line does no extra write-back work, and the
+    /// duplicate entries used to multiply `persist_line_now` cost at fence
+    /// time).
+    fn flush_line(self: &Arc<Self>, line: u64) {
+        self.crash.check();
+        if self.accounting {
+            self.account_word(
+                &self.stats.flushes,
+                self.latency.flush_spins,
+                line * CACHE_LINE_WORDS,
+            );
+        }
+        if self.persisted.is_some() {
+            PENDING.with(|p| {
+                let mut pending = p.borrow_mut();
+                let duplicate = pending
+                    .iter()
+                    .any(|(pool, l)| *l == line && Arc::ptr_eq(pool, self));
+                if !duplicate {
+                    pending.push((Arc::clone(self), line));
+                }
+            });
+        }
     }
 
     /// CLWB: mark the cache line containing `off` for write-back. The line
     /// is only guaranteed persistent after the issuing thread's next
     /// [`sfence`].
     pub fn flush(self: &Arc<Self>, off: u64) {
-        self.crash.check();
-        self.count(&self.stats.flushes);
-        self.charge(self.latency.flush_spins, off);
-        if self.persisted.is_some() {
-            let line = crate::line_of(off);
-            PENDING.with(|p| p.borrow_mut().push((Arc::clone(self), line)));
-        }
+        self.flush_line(crate::line_of(off));
     }
 
     /// Flush every line overlapping `off .. off + words`.
@@ -282,7 +340,7 @@ impl Pool {
         let first = crate::line_of(off);
         let last = crate::line_of(off + words - 1);
         for line in first..=last {
-            self.flush(line * CACHE_LINE_WORDS);
+            self.flush_line(line);
         }
     }
 
@@ -384,10 +442,17 @@ pub fn discard_pending() {
     PENDING.with(|p| p.borrow_mut().clear());
 }
 
+/// Number of distinct cache lines the current thread has flushed since its
+/// last [`sfence`] (diagnostic; the flush path dedups at line granularity).
+pub fn pending_flushes() -> usize {
+    PENDING.with(|p| p.borrow().len())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::crash::{run_crashable, silence_crash_panics, Crashed};
+    use crate::stats::StatsSnapshot;
 
     #[test]
     fn read_write_roundtrip() {
@@ -510,6 +575,65 @@ mod tests {
         let survived = (0..4096u64).filter(|&w| p.read(w) != 0).count();
         assert!(survived > 0, "eviction mode should persist some lines");
         assert!(survived < 4096, "eviction mode must not persist everything");
+    }
+
+    #[test]
+    fn repeated_flushes_of_one_line_stay_one_pending_entry() {
+        let p = Pool::tracked(64);
+        p.write(0, 1);
+        for _ in 0..100 {
+            p.flush(0);
+        }
+        assert_eq!(pending_flushes(), 1, "duplicate flushes must dedup");
+        p.flush(3); // same line as word 0
+        assert_eq!(pending_flushes(), 1);
+        p.flush(8); // next line
+        assert_eq!(pending_flushes(), 2);
+        sfence();
+        assert_eq!(pending_flushes(), 0);
+        assert_eq!(p.read_persisted(0), 1);
+    }
+
+    #[test]
+    fn flush_range_dedups_against_earlier_flushes() {
+        let p = Pool::tracked(64);
+        for w in 0..24 {
+            p.write(w, w + 1);
+        }
+        p.flush(0);
+        p.flush_range(0, 24); // lines 0, 1, 2 — line 0 already pending
+        assert_eq!(pending_flushes(), 3);
+        let flushes = p.stats().snapshot().flushes;
+        assert_eq!(flushes, 4, "every CLWB call is still counted");
+        sfence();
+        for w in 0..24 {
+            assert_eq!(p.read_persisted(w), w + 1);
+        }
+    }
+
+    #[test]
+    fn disabled_stats_stay_zero() {
+        let mut cfg = PoolConfig::simple(64);
+        cfg.collect_stats = false;
+        let p = Pool::new(cfg, Arc::new(CrashController::new()));
+        p.write(0, 1);
+        p.read(0);
+        let _ = p.cas(0, 1, 2);
+        let _ = p.fetch_add(0, 1);
+        let mut buf = [0u64; 16];
+        p.read_slice(0, &mut buf);
+        p.persist(0, 16);
+        assert_eq!(p.stats().snapshot(), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn read_slice_counts_lines_not_words() {
+        let p = Pool::simple(64);
+        let before = p.stats().snapshot();
+        let mut buf = [0u64; 18]; // words 7..=24 straddle lines 0..=3
+        p.read_slice(7, &mut buf);
+        let d = p.stats().snapshot().since(&before);
+        assert_eq!(d.reads, 4, "words 7..=24 touch lines 0, 1, 2, 3");
     }
 
     #[test]

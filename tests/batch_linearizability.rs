@@ -1,0 +1,101 @@
+//! Strict-linearizability analysis over histories mixing batched and
+//! single-key operations.
+//!
+//! The batch API promises per-element linearizability, not batch
+//! atomicity, so every element of a batch is logged as its own operation
+//! whose interval spans the whole batch call — a sound over-approximation
+//! of the element's real invocation/response window. Elements of
+//! concurrent batches (and the single ops interleaved with them) must
+//! still form one linearizable history per key.
+
+use std::sync::{Arc, Mutex};
+
+use lincheck::{merge, OpKind, ThreadLog, Ticket, EMPTY};
+use rand::{Rng, SeedableRng};
+use upskiplist::{ListBuilder, ListConfig};
+
+#[test]
+fn mixed_batch_and_single_histories_are_strictly_linearizable() {
+    let list = ListBuilder {
+        list: ListConfig::new(12, 8),
+        pool_words: 1 << 22,
+        ..ListBuilder::default()
+    }
+    .create();
+    let ticket = Ticket::new();
+    let keyspace = 200u64;
+    let threads = 4usize;
+    let logs = Arc::new(Mutex::new(Vec::new()));
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let list = Arc::clone(&list);
+            let logs = Arc::clone(&logs);
+            let ticket = &ticket;
+            s.spawn(move || {
+                pmem::thread::register(t, 0);
+                let mut log = ThreadLog::new(t as u32);
+                let mut rng = rand::rngs::StdRng::seed_from_u64(7 + t as u64);
+                for _ in 0..600 {
+                    match rng.gen_range(0..4u32) {
+                        0 => {
+                            // Batched reads (duplicates allowed).
+                            let keys: Vec<u64> = (0..rng.gen_range(2..9usize))
+                                .map(|_| rng.gen_range(1..=keyspace))
+                                .collect();
+                            let idxs: Vec<usize> = keys
+                                .iter()
+                                .map(|&k| log.begin(ticket, OpKind::Read, k, 0))
+                                .collect();
+                            let got = list.get_batch(&keys);
+                            for (&i, v) in idxs.iter().zip(got) {
+                                log.finish(ticket, i, v.unwrap_or(EMPTY));
+                            }
+                        }
+                        1 => {
+                            // Batched writes (unique ticket values, so the
+                            // analyzer can chain them even within a batch).
+                            let pairs: Vec<(u64, u64)> = (0..rng.gen_range(2..9usize))
+                                .map(|_| (rng.gen_range(1..=keyspace), ticket.next()))
+                                .collect();
+                            let idxs: Vec<usize> = pairs
+                                .iter()
+                                .map(|&(k, v)| log.begin(ticket, OpKind::Write, k, v))
+                                .collect();
+                            let old = list.insert_batch(&pairs);
+                            for (&i, o) in idxs.iter().zip(old) {
+                                log.finish(ticket, i, o.unwrap_or(EMPTY));
+                            }
+                        }
+                        2 => {
+                            let key = rng.gen_range(1..=keyspace);
+                            let idx = log.begin(ticket, OpKind::Read, key, 0);
+                            let v = list.get(key);
+                            log.finish(ticket, idx, v.unwrap_or(EMPTY));
+                        }
+                        _ => {
+                            let key = rng.gen_range(1..=keyspace);
+                            let value = ticket.next();
+                            let idx = log.begin(ticket, OpKind::Write, key, value);
+                            let old = list.insert(key, value);
+                            log.finish(ticket, idx, old.unwrap_or(EMPTY));
+                        }
+                    }
+                }
+                logs.lock().unwrap().push(log);
+            });
+        }
+    });
+    let logs = Arc::try_unwrap(logs).unwrap().into_inner().unwrap();
+    let history = merge(logs, vec![]);
+    let result = lincheck::check(&history);
+    assert!(
+        result.is_linearizable(),
+        "violations: {:?}",
+        result.violations
+    );
+    assert!(
+        result.writes_checked > 500,
+        "history too small to be useful"
+    );
+    list.check_invariants();
+}
