@@ -13,7 +13,7 @@ fn bench_deferred(c: &mut Criterion) {
         tracked: true,
         ..bench::Deployment::simple(records)
     };
-    let list = bench::build_upskiplist(&d, 64);
+    let list = bench::build_upskiplist(&d, bench::UpSkipListOpts::keys_per_node(64));
     for i in 0..records {
         list.insert(ycsb::key_of(i), i + 1);
     }

@@ -12,7 +12,7 @@ fn bench_node_size(c: &mut Criterion) {
     group.sample_size(20);
     for keys_per_node in [1usize, 16, 64, 256] {
         let d = bench::Deployment::simple(records);
-        let list = bench::build_upskiplist(&d, keys_per_node);
+        let list = bench::build_upskiplist(&d, bench::UpSkipListOpts::keys_per_node(keys_per_node));
         for i in 0..records {
             list.insert(ycsb::key_of(i), i + 1);
         }

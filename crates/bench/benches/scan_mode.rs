@@ -14,7 +14,7 @@ use std::sync::Arc;
 fn bench_scan(c: &mut Criterion) {
     let mut cfg = PoolConfig::simple(1 << 16);
     cfg.latency = LatencyModel::pmem_default();
-    cfg.collect_stats = false;
+    cfg.obs = pmem::ObsLevel::Off;
     let pool = Pool::new(cfg, Arc::new(CrashController::new()));
     for w in 0..512u64 {
         pool.write(w, w * 3 + 1);
@@ -60,7 +60,7 @@ fn bench_sorted_lookup(c: &mut Criterion) {
                 cfg
             },
             pool_words: 1 << 23,
-            collect_stats: false,
+            obs: pmem::ObsLevel::Off,
             latency: pmem::LatencyModel::pmem_default(),
             ..upskiplist::ListBuilder::default()
         }

@@ -10,7 +10,14 @@ const RECORDS: u64 = 100_000;
 
 fn loaded_list(fingers: bool) -> std::sync::Arc<upskiplist::UpSkipList> {
     let d = bench::Deployment::simple(RECORDS);
-    let list = bench::build_upskiplist_traversal(&d, 256, fingers);
+    let list = bench::build_upskiplist(
+        &d,
+        bench::UpSkipListOpts {
+            keys_per_node: 256,
+            fingers,
+            ..Default::default()
+        },
+    );
     for i in 0..RECORDS {
         list.insert(ycsb::key_of(i), i + 1);
     }

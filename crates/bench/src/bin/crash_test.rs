@@ -46,7 +46,15 @@ impl Subject {
         };
         match name {
             "upskiplist" => {
-                let list = bench::build_upskiplist_opts(&d, 16, sorted, if evict { 4 } else { 0 });
+                let list = bench::build_upskiplist(
+                    &d,
+                    bench::UpSkipListOpts {
+                        keys_per_node: 16,
+                        sorted_lookups: sorted,
+                        evict_one_in: if evict { 4 } else { 0 },
+                        ..Default::default()
+                    },
+                );
                 let pools = list.space().pools().to_vec();
                 let controller = Arc::clone(pools[0].crash_controller());
                 let l2 = Arc::clone(&list);

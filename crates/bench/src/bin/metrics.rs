@@ -1,0 +1,176 @@
+//! E11 — the observability report: per-op pmem attribution (reads,
+//! writes, flushes, fences *per operation type*), latency percentiles
+//! from the obs histograms, and UPSkipList structure-internal counters.
+//!
+//! ```text
+//! cargo run --release -p bench --bin metrics -- \
+//!     --records 50000 --ops 100000 --threads 4 --batch 32 \
+//!     --json results/BENCH_metrics.json
+//! ```
+//! Four phases per structure, each tagged with its [`pmem::OpKind`]:
+//! a mixed read/update/scan run, a batched-read run, then a remove pass.
+//! (The untagged load phase lands in the `other` bucket and is excluded.)
+//! Emits CSV to stdout; `--json`/`--csv` also write the report to a file.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use bench::metrics::{
+    push_attribution_rows, push_latency_rows, push_struct_rows, stats_by_op, write_report,
+};
+use bench::{
+    build_bztree, build_hybridskip, build_pmdkskip, build_upskiplist, run_metrics, Args,
+    Deployment, KvIndex, UpSkipListOpts,
+};
+use obs::report::MetricsReport;
+use obs::{ObsLevel, Registry};
+use pmem::stats::OP_KINDS;
+use pmem::{op_tag, OpKind, Pool};
+use ycsb::{Distribution, WorkloadSpec};
+
+/// Mixed point/range workload so every supported op kind shows up.
+const MIXED: WorkloadSpec = WorkloadSpec {
+    name: "mixed",
+    read_pct: 60,
+    update_pct: 25,
+    insert_pct: 5,
+    scan_pct: 10,
+    rmw_pct: 0,
+    distribution: Distribution::Zipfian,
+};
+
+/// Read-only uniform phase for the batched-read bucket.
+const READS: WorkloadSpec = WorkloadSpec {
+    name: "reads",
+    read_pct: 100,
+    update_pct: 0,
+    insert_pct: 0,
+    scan_pct: 0,
+    rmw_pct: 0,
+    distribution: Distribution::Uniform,
+};
+
+struct Target {
+    index: Arc<dyn KvIndex>,
+    pools: Vec<Arc<Pool>>,
+    upskiplist: Option<Arc<upskiplist::UpSkipList>>,
+}
+
+fn build(name: &str, d: &Deployment, desc_count: usize, keys_per_node: usize) -> Target {
+    match name {
+        "upskiplist" => {
+            let l = build_upskiplist(d, UpSkipListOpts::keys_per_node(keys_per_node));
+            Target {
+                pools: l.space().pools().to_vec(),
+                upskiplist: Some(Arc::clone(&l)),
+                index: l,
+            }
+        }
+        "bztree" => {
+            let t = build_bztree(d, desc_count);
+            Target {
+                pools: vec![Arc::clone(t.pool())],
+                upskiplist: None,
+                index: t,
+            }
+        }
+        "pmdkskip" => {
+            let s = build_pmdkskip(d);
+            Target {
+                pools: vec![Arc::clone(s.pool())],
+                upskiplist: None,
+                index: s,
+            }
+        }
+        "hybridskip" => {
+            let h = build_hybridskip(d);
+            Target {
+                pools: vec![Arc::clone(h.pool())],
+                upskiplist: None,
+                index: h,
+            }
+        }
+        other => panic!("unknown structure {other}"),
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let records = args.u64("records", 50_000);
+    let ops = args.u64("ops", 100_000);
+    let threads = args.usize("threads", 4);
+    let batch = args.usize("batch", 32);
+    let structures = args.list("structures", "upskiplist,bztree,pmdkskip,hybridskip");
+    let desc_count = args.usize("descriptors", 500_000.min(records as usize));
+    let keys_per_node = args.usize("keys-per-node", 256);
+
+    let mut report = MetricsReport::new("metrics");
+    report.meta("records", &records.to_string());
+    report.meta("ops", &ops.to_string());
+    report.meta("threads", &threads.to_string());
+    report.meta("batch", &batch.to_string());
+
+    let mixed = ycsb::generate(MIXED, records, ops, threads, 42);
+    let reads = ycsb::generate(READS, records, ops, threads, 43);
+
+    for sname in &structures {
+        let d = Deployment {
+            obs: ObsLevel::Full,
+            ..Deployment::simple(records)
+        };
+        let t = build(sname, &d, desc_count, keys_per_node);
+        let registry = Registry::new();
+        let before = stats_by_op(&t.pools);
+
+        // Load is untagged on purpose: it lands in the `other` bucket so
+        // the per-op numbers below measure steady state only.
+        bench::load(&t.index, &mixed, threads.max(4), 1);
+        let base = t.upskiplist.as_ref().map(|l| l.struct_metrics());
+
+        let mixed_r = run_metrics(&t.index, &mixed, 1, 1, "mixed", Some(&registry));
+        let batched_r = run_metrics(&t.index, &reads, 1, batch, "reads", Some(&registry));
+
+        // Remove pass: tombstone a tenth of the key space.
+        let lat_remove = registry.histogram("lat.remove");
+        let removes = (records / 10).max(1);
+        {
+            let _tag = op_tag(OpKind::Remove);
+            for &(k, _) in mixed.load.iter().take(removes as usize) {
+                let t0 = Instant::now();
+                std::hint::black_box(t.index.remove(k));
+                lat_remove.record(t0.elapsed().as_nanos() as u64);
+            }
+        }
+
+        let after = stats_by_op(&t.pools);
+        // Driver-level call counts per kind, straight from the latency
+        // histograms (one sample per call).
+        let mut op_counts = [0u64; OP_KINDS];
+        for (name, kind) in [
+            ("lat.get", OpKind::Get),
+            ("lat.insert", OpKind::Insert),
+            ("lat.remove", OpKind::Remove),
+            ("lat.scan", OpKind::Scan),
+            ("lat.batch", OpKind::Batch),
+        ] {
+            op_counts[kind as usize] = registry.histogram(name).count();
+        }
+
+        push_attribution_rows(&mut report, sname, &before, &after, &op_counts);
+        push_latency_rows(&mut report, sname, &registry);
+        report.push(sname, "all", "mixed_mops", mixed_r.mops());
+        report.push(sname, "all", "batched_read_mops", batched_r.mops());
+        if let (Some(l), Some(base)) = (&t.upskiplist, base) {
+            push_struct_rows(&mut report, sname, &l.struct_metrics().since(&base));
+        }
+        eprintln!("{sname}: mixed {:.3} Mops, batched reads {:.3} Mops", mixed_r.mops(), batched_r.mops());
+    }
+
+    print!("{}", report.to_csv());
+    if let Some(path) = args.get("json") {
+        write_report(&report, path);
+    }
+    if let Some(path) = args.get("csv") {
+        write_report(&report, path);
+    }
+}

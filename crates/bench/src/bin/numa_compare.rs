@@ -11,7 +11,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use bench::{build_upskiplist, Args, Deployment, KvIndex};
+use bench::{build_upskiplist, Args, Deployment, KvIndex, UpSkipListOpts};
 use pmem::LatencyModel;
 use ycsb::workload_by_name;
 
@@ -33,13 +33,12 @@ fn main() {
                 [("striped", 1u16, nodes), ("multi_pool", nodes, 1u16)]
             {
                 let d = Deployment {
-                    records,
-                    tracked: false,
                     latency: LatencyModel::numa_default(),
                     num_pools,
                     striped_nodes: striped,
+                    ..Deployment::simple(records)
                 };
-                let index: Arc<dyn KvIndex> = build_upskiplist(&d, 256);
+                let index: Arc<dyn KvIndex> = build_upskiplist(&d, UpSkipListOpts::keys_per_node(256));
                 bench::load(&index, &w, (*t).max(4), nodes);
                 let _ = bench::run(&index, &w, nodes, false, "warmup");
                 // Median of three timed runs: single runs are noisy on

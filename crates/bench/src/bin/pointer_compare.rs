@@ -10,7 +10,7 @@
 
 use std::sync::Arc;
 
-use bench::{build_pmdkskip, build_upskiplist, Args, Deployment, KvIndex};
+use bench::{build_pmdkskip, build_upskiplist, Args, Deployment, KvIndex, UpSkipListOpts};
 use ycsb::WORKLOAD_C;
 
 fn main() {
@@ -27,7 +27,7 @@ fn main() {
     for t in &threads {
         let w = ycsb::generate(WORKLOAD_C, records, ops, *t, 42);
         let d = Deployment::simple(records);
-        let riv: Arc<dyn KvIndex> = build_upskiplist(&d, 1);
+        let riv: Arc<dyn KvIndex> = build_upskiplist(&d, UpSkipListOpts::keys_per_node(1));
         let fat: Arc<dyn KvIndex> = build_pmdkskip(&d);
         for (name, index) in [("riv_single_key", &riv), ("fat_pointers", &fat)] {
             bench::load(index, &w, (*t).max(4), 1);

@@ -13,7 +13,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use bench::{build_bztree, build_pmdkskip, build_upskiplist, Args, Deployment, KvIndex};
+use bench::{build_bztree, build_pmdkskip, build_upskiplist, Args, Deployment, KvIndex, UpSkipListOpts};
 use pmem::run_crashable;
 
 fn run_inserts_until_crash(
@@ -62,7 +62,7 @@ fn main() {
             tracked: true,
             ..Deployment::simple(records)
         };
-        let list = build_upskiplist(&d, 256);
+        let list = build_upskiplist(&d, UpSkipListOpts::keys_per_node(256));
         let index: Arc<dyn KvIndex> = Arc::clone(&list) as _;
         let controller = Arc::clone(list.space().pool(0).crash_controller());
         run_inserts_until_crash(
@@ -180,7 +180,7 @@ fn main() {
             tracked: true,
             ..Deployment::simple(n)
         };
-        let ups = build_upskiplist(&d, 256);
+        let ups = build_upskiplist(&d, UpSkipListOpts::keys_per_node(256));
         for k in 1..=n {
             ups.insert(k, k);
         }

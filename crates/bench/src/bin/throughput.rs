@@ -7,11 +7,22 @@
 //! ```
 //! `--batch N` groups consecutive reads into `get_batch` calls of up to N
 //! keys (writes flush the pending batch, preserving per-thread order).
+//! `--metrics PATH` switches the pools to `ObsLevel::Counters`, tags every
+//! op for per-op pmem attribution, and writes a [`MetricsReport`]
+//! (JSON or CSV by extension) alongside the throughput CSV on stdout.
 //! Emits CSV: `workload,structure,threads,mops`.
 
 use std::sync::Arc;
 
-use bench::{build_bztree, build_pmdkskip, build_upskiplist, Args, Deployment, KvIndex};
+use bench::metrics::{push_attribution_rows, stats_by_op, write_report};
+use bench::{
+    build_bztree, build_pmdkskip, build_upskiplist, run_metrics, Args, Deployment, KvIndex,
+    UpSkipListOpts,
+};
+use obs::report::MetricsReport;
+use obs::{ObsLevel, Registry};
+use pmem::stats::OP_KINDS;
+use pmem::{OpKind, Pool};
 use ycsb::workload_by_name;
 
 fn main() {
@@ -27,6 +38,11 @@ fn main() {
     let structures = args.list("structures", "upskiplist,bztree,pmdkskip");
     let desc_count = args.usize("descriptors", 500_000.min(records as usize));
     let batch = args.usize("batch", 1);
+    let metrics_path = args.get("metrics").map(str::to_owned);
+
+    let mut report = MetricsReport::new("throughput");
+    report.meta("records", records);
+    report.meta("ops", ops);
 
     println!("workload,structure,threads,mops");
     for wname in &workloads {
@@ -34,11 +50,30 @@ fn main() {
         for t in &threads {
             let w = ycsb::generate(spec, records, ops, *t, 42);
             for s in &structures {
-                let d = Deployment::simple(records);
-                let index: Arc<dyn KvIndex> = match s.as_str() {
-                    "upskiplist" => build_upskiplist(&d, 256),
-                    "bztree" => build_bztree(&d, desc_count),
-                    "pmdkskip" => build_pmdkskip(&d),
+                let d = Deployment {
+                    obs: if metrics_path.is_some() {
+                        ObsLevel::Counters
+                    } else {
+                        ObsLevel::Off
+                    },
+                    ..Deployment::simple(records)
+                };
+                let (index, pools): (Arc<dyn KvIndex>, Vec<Arc<Pool>>) = match s.as_str() {
+                    "upskiplist" => {
+                        let l = build_upskiplist(&d, UpSkipListOpts::keys_per_node(256));
+                        let pools = l.space().pools().to_vec();
+                        (l, pools)
+                    }
+                    "bztree" => {
+                        let b = build_bztree(&d, desc_count);
+                        let pools = vec![Arc::clone(b.pool())];
+                        (b, pools)
+                    }
+                    "pmdkskip" => {
+                        let p = build_pmdkskip(&d);
+                        let pools = vec![Arc::clone(p.pool())];
+                        (p, pools)
+                    }
                     other => panic!("unknown structure {other}"),
                 };
                 bench::load(&index, &w, (*t).max(4), 1);
@@ -49,7 +84,25 @@ fn main() {
                     "bztree" => "bztree",
                     _ => "pmdkskip",
                 };
-                let r = if batch > 1 {
+                let r = if metrics_path.is_some() {
+                    let registry = Registry::new();
+                    let before = stats_by_op(&pools);
+                    let r = run_metrics(&index, &w, 1, batch, name, Some(&registry));
+                    let after = stats_by_op(&pools);
+                    let mut op_counts = [0u64; OP_KINDS];
+                    for (h, kind) in [
+                        ("lat.get", OpKind::Get),
+                        ("lat.insert", OpKind::Insert),
+                        ("lat.scan", OpKind::Scan),
+                        ("lat.batch", OpKind::Batch),
+                    ] {
+                        op_counts[kind as usize] = registry.histogram(h).count();
+                    }
+                    let label = format!("{name}[{},t{}]", spec.name, t);
+                    push_attribution_rows(&mut report, &label, &before, &after, &op_counts);
+                    report.push(&label, "all", "mops", r.mops());
+                    r
+                } else if batch > 1 {
                     bench::run_batched(&index, &w, 1, batch, name)
                 } else {
                     bench::run(&index, &w, 1, false, name)
@@ -57,5 +110,9 @@ fn main() {
                 println!("{},{},{},{:.4}", spec.name, name, t, r.mops());
             }
         }
+    }
+
+    if let Some(path) = &metrics_path {
+        write_report(&report, path);
     }
 }

@@ -9,10 +9,15 @@
 //!     --json results/BENCH_traversal.json
 //! ```
 //! Emits CSV: `variant,threads,batch,mops,pmem_reads_per_op`; `--json`
-//! additionally writes the same rows as a machine-readable report.
+//! additionally writes the same rows as a machine-readable report, and
+//! `--metrics PATH` writes a standardized [`MetricsReport`] including the
+//! structure counters (finger hit rate, hops per traversal).
 
-use bench::{build_upskiplist_traversal, Args, Deployment};
-use upskiplist::UpSkipList;
+use bench::metrics::{push_struct_rows, write_report};
+use bench::{Args, Deployment, UpSkipListOpts};
+use obs::report::MetricsReport;
+use obs::ObsLevel;
+use upskiplist::{StructMetricsSnapshot, UpSkipList};
 use ycsb::{Distribution, WorkloadSpec};
 
 /// Read-only uniform workload: every key equally likely, so finger hits
@@ -41,6 +46,7 @@ struct Row {
     batch: usize,
     mops: f64,
     reads_per_op: f64,
+    structure: StructMetricsSnapshot,
 }
 
 fn measure(
@@ -52,14 +58,25 @@ fn measure(
     threads: usize,
     keys_per_node: usize,
 ) -> Row {
-    let d = Deployment::simple(records);
-    let index = build_upskiplist_traversal(&d, keys_per_node, fingers);
+    let d = Deployment {
+        obs: ObsLevel::Counters,
+        ..Deployment::simple(records)
+    };
+    let index = bench::build_upskiplist(
+        &d,
+        UpSkipListOpts {
+            keys_per_node,
+            fingers,
+            ..Default::default()
+        },
+    );
     let w = ycsb::generate(UNIFORM_READS, records, ops, threads, 42);
     bench::load(&index, &w, threads.max(4), 1);
     // Warm-up pass, then snapshot the counters around the measured run so
     // load/warm-up traffic is excluded.
     let _ = bench::run(&index, &w, 1, false, "warmup");
     let before = pmem_reads(&index);
+    let sbefore = index.struct_metrics();
     let r = if batch > 1 {
         bench::run_batched(&index, &w, 1, batch, variant)
     } else {
@@ -72,6 +89,7 @@ fn measure(
         batch,
         mops: r.mops(),
         reads_per_op: (after - before) as f64 / r.ops as f64,
+        structure: index.struct_metrics().since(&sbefore),
     }
 }
 
@@ -129,6 +147,20 @@ fn main() {
         }
         std::fs::write(path, out).expect("write json report");
         eprintln!("wrote {path}");
+    }
+
+    if let Some(path) = args.get("metrics") {
+        let mut report = MetricsReport::new("traversal");
+        report.meta("records", records);
+        report.meta("ops", ops);
+        report.meta("keys_per_node", keys_per_node);
+        for r in &rows {
+            let label = format!("upskiplist[{},t{},b{}]", r.variant, r.threads, r.batch);
+            report.push(&label, "get", "mops", r.mops);
+            report.push(&label, "get", "reads_per_op", r.reads_per_op);
+            push_struct_rows(&mut report, &label, &r.structure);
+        }
+        write_report(&report, path);
     }
 
     // The whole point of the fast path: fingered + batched descents must

@@ -8,6 +8,8 @@
 use std::sync::Arc;
 use std::time::Instant;
 
+use obs::{Histogram, Registry};
+use pmem::{op_tag, OpKind};
 use ycsb::{Op, Workload};
 
 use crate::index::KvIndex;
@@ -232,10 +234,133 @@ pub fn run_batched<I: KvIndex + ?Sized>(
     }
 }
 
+/// Play back the run phase with every operation tagged for per-op pmem
+/// attribution ([`pmem::op_tag`]): pool counters charge each flush, fence
+/// and read to the kind of operation that issued it. When `registry` is
+/// given, per-op wall latencies are recorded into its `lat.get`,
+/// `lat.insert`, `lat.scan` and `lat.batch` histograms. Consecutive reads
+/// group into [`KvIndex::get_batch`] calls (tagged [`OpKind::Batch`])
+/// when `batch > 1`; scans are skipped on structures without a range path.
+pub fn run_metrics<I: KvIndex + ?Sized>(
+    index: &Arc<I>,
+    workload: &Workload,
+    numa_nodes: u16,
+    batch: usize,
+    structure: &'static str,
+    registry: Option<&Registry>,
+) -> RunResult {
+    // Histogram slots indexed like [`latency_histograms`] names them.
+    const GET: usize = 0;
+    const INSERT: usize = 1;
+    const SCAN: usize = 2;
+    const BATCH: usize = 3;
+    let hist: Option<[Arc<Histogram>; 4]> = registry.map(latency_histograms);
+    let threads = workload.ops.len();
+    let batch = batch.max(1);
+    let started = Instant::now();
+    std::thread::scope(|s| {
+        for (t, trace) in workload.ops.iter().enumerate() {
+            let index = Arc::clone(index);
+            let hist = hist.clone();
+            s.spawn(move || {
+                pmem::thread::register(t, (t as u16) % numa_nodes.max(1));
+                let record = |slot: usize, t0: Instant| {
+                    if let Some(h) = &hist {
+                        h[slot].record(t0.elapsed().as_nanos() as u64);
+                    }
+                };
+                let mut pending: Vec<u64> = Vec::with_capacity(batch);
+                for op in trace {
+                    if batch > 1 {
+                        if let Op::Read(k) = *op {
+                            pending.push(k);
+                            if pending.len() == batch {
+                                let _tag = op_tag(OpKind::Batch);
+                                let t0 = Instant::now();
+                                std::hint::black_box(index.get_batch(&pending));
+                                record(BATCH, t0);
+                                pending.clear();
+                            }
+                            continue;
+                        }
+                        if !pending.is_empty() {
+                            let _tag = op_tag(OpKind::Batch);
+                            let t0 = Instant::now();
+                            std::hint::black_box(index.get_batch(&pending));
+                            record(BATCH, t0);
+                            pending.clear();
+                        }
+                    }
+                    match *op {
+                        Op::Read(k) => {
+                            let _tag = op_tag(OpKind::Get);
+                            let t0 = Instant::now();
+                            std::hint::black_box(index.get(k));
+                            record(GET, t0);
+                        }
+                        Op::Scan(k, n) => {
+                            if index.supports_scan() {
+                                let _tag = op_tag(OpKind::Scan);
+                                let t0 = Instant::now();
+                                std::hint::black_box(index.scan(k, n as usize));
+                                record(SCAN, t0);
+                            }
+                        }
+                        Op::Rmw(k, v) => {
+                            let t0 = Instant::now();
+                            {
+                                let _tag = op_tag(OpKind::Get);
+                                std::hint::black_box(index.get(k));
+                            }
+                            let _tag = op_tag(OpKind::Insert);
+                            index.insert(k, v);
+                            record(INSERT, t0);
+                        }
+                        Op::Update(k, v) | Op::Insert(k, v) => {
+                            let _tag = op_tag(OpKind::Insert);
+                            let t0 = Instant::now();
+                            index.insert(k, v);
+                            record(INSERT, t0);
+                        }
+                    }
+                }
+                if !pending.is_empty() {
+                    let _tag = op_tag(OpKind::Batch);
+                    let t0 = Instant::now();
+                    std::hint::black_box(index.get_batch(&pending));
+                    record(BATCH, t0);
+                }
+            });
+        }
+    });
+    let seconds = started.elapsed().as_secs_f64();
+    let ops: u64 = workload.ops.iter().map(|t| t.len() as u64).sum();
+    RunResult {
+        structure,
+        workload: workload.spec.name,
+        threads,
+        ops,
+        seconds,
+        read_latencies: Vec::new(),
+        update_latencies: Vec::new(),
+        insert_latencies: Vec::new(),
+    }
+}
+
+/// The latency histograms [`run_metrics`] records into, in slot order.
+pub fn latency_histograms(registry: &Registry) -> [Arc<Histogram>; 4] {
+    [
+        registry.histogram("lat.get"),
+        registry.histogram("lat.insert"),
+        registry.histogram("lat.scan"),
+        registry.histogram("lat.batch"),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::index::{build_upskiplist, Deployment};
+    use crate::index::{build_upskiplist, Deployment, UpSkipListOpts};
     use ycsb::{generate, WORKLOAD_A};
 
     #[test]
@@ -250,7 +375,7 @@ mod tests {
     #[test]
     fn load_and_run_complete() {
         let d = Deployment::simple(1000);
-        let idx = build_upskiplist(&d, 16);
+        let idx = build_upskiplist(&d, UpSkipListOpts::default());
         let w = generate(WORKLOAD_A, 1000, 4000, 4, 1);
         load(&idx, &w, 4, 1);
         assert_eq!(idx.count_live(), 1000);
@@ -264,7 +389,7 @@ mod tests {
     #[test]
     fn batched_run_executes_every_op() {
         let d = Deployment::simple(1000);
-        let idx = build_upskiplist(&d, 16);
+        let idx = build_upskiplist(&d, UpSkipListOpts::default());
         let w = generate(WORKLOAD_A, 1000, 4000, 4, 7);
         load(&idx, &w, 4, 1);
         // Batch size chosen not to divide the per-thread op count, so the
@@ -273,5 +398,46 @@ mod tests {
         assert_eq!(r.ops, 4000);
         assert!(r.mops() > 0.0);
         idx.check_invariants();
+    }
+
+    #[test]
+    fn metrics_run_attributes_pmem_work_per_op() {
+        let d = Deployment::counted(1000);
+        let idx = build_upskiplist(&d, UpSkipListOpts::default());
+        let w = generate(WORKLOAD_A, 1000, 4000, 4, 3);
+        load(&idx, &w, 4, 1);
+        let before = idx.space().stats_by_op();
+        let registry = Registry::new();
+        let r = run_metrics(&idx, &w, 1, 1, "upskiplist", Some(&registry));
+        assert_eq!(r.ops, 4000);
+        let after = idx.space().stats_by_op();
+        let get = after[OpKind::Get as usize].since(&before[OpKind::Get as usize]);
+        let ins = after[OpKind::Insert as usize].since(&before[OpKind::Insert as usize]);
+        assert!(get.reads > 0, "reads must be charged to Get");
+        assert!(
+            ins.writes + ins.cas_ops > 0,
+            "mutations must be charged to Insert"
+        );
+        assert!(ins.flushes > 0, "insert persists must be charged to Insert");
+        assert_eq!(get.writes + get.cas_ops, 0, "lookups never write pmem");
+        let lat = latency_histograms(&registry);
+        assert!(lat[0].snapshot().summary().count > 0, "lat.get recorded");
+        assert!(lat[1].snapshot().summary().count > 0, "lat.insert recorded");
+        idx.check_invariants();
+    }
+
+    #[test]
+    fn metrics_run_batches_reads_under_the_batch_tag() {
+        let d = Deployment::counted(500);
+        let idx = build_upskiplist(&d, UpSkipListOpts::default());
+        let w = generate(WORKLOAD_A, 500, 2000, 2, 5);
+        load(&idx, &w, 2, 1);
+        let before = idx.space().stats_by_op();
+        run_metrics(&idx, &w, 1, 8, "upskiplist", None);
+        let after = idx.space().stats_by_op();
+        let batch = after[OpKind::Batch as usize].since(&before[OpKind::Batch as usize]);
+        let get = after[OpKind::Get as usize].since(&before[OpKind::Get as usize]);
+        assert!(batch.reads > 0, "grouped reads must be charged to Batch");
+        assert_eq!(get.reads, 0, "no read escapes the batch grouping");
     }
 }

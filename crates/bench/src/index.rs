@@ -1,5 +1,5 @@
-//! A uniform key-value interface over the three structures under test,
-//! plus sized constructors for benchmark-scale deployments.
+//! A uniform key-value interface over the structures under test, plus
+//! sized constructors for benchmark-scale deployments.
 
 use std::sync::Arc;
 
@@ -7,17 +7,28 @@ use bztree::BzTree;
 use hybridskip::HybridSkipList;
 use pmdkskip::PmdkSkipList;
 use pmem::pool::PoolConfig;
-use pmem::{LatencyModel, PersistenceMode, Placement, Pool};
+use pmem::{LatencyModel, ObsLevel, PersistenceMode, Placement, Pool};
 use upskiplist::{ListBuilder, ListConfig, UpSkipList};
 
 /// What the benchmarks need from an index.
+///
+/// Every structure supports point ops (`insert`/`get`/`remove`); scans are
+/// a capability (`supports_scan`), and `scan` returns `None` when the
+/// structure has no range path — the driver skips rather than panics.
 pub trait KvIndex: Send + Sync {
     fn name(&self) -> &'static str;
     fn insert(&self, key: u64, value: u64) -> Option<u64>;
     fn get(&self, key: u64) -> Option<u64>;
+    /// Tombstone/delete `key`, returning the previous live value.
+    fn remove(&self, key: u64) -> Option<u64>;
+    /// Whether [`KvIndex::scan`] returns `Some` on this structure.
+    fn supports_scan(&self) -> bool {
+        true
+    }
     /// Range scan from `from`, up to `limit` records (workload E).
-    /// Returns the number of records visited.
-    fn scan(&self, from: u64, limit: usize) -> usize;
+    /// Returns the number of records visited, or `None` when the
+    /// structure has no range path.
+    fn scan(&self, from: u64, limit: usize) -> Option<usize>;
     /// Batched lookup, results in input order. The default loops
     /// [`KvIndex::get`]; structures with a native batch path override it.
     fn get_batch(&self, keys: &[u64]) -> Vec<Option<u64>> {
@@ -35,8 +46,11 @@ impl KvIndex for UpSkipList {
     fn get(&self, key: u64) -> Option<u64> {
         UpSkipList::get(self, key)
     }
-    fn scan(&self, from: u64, limit: usize) -> usize {
-        UpSkipList::scan(self, from, limit).len()
+    fn remove(&self, key: u64) -> Option<u64> {
+        UpSkipList::remove(self, key)
+    }
+    fn scan(&self, from: u64, limit: usize) -> Option<usize> {
+        Some(UpSkipList::scan(self, from, limit).len())
     }
     fn get_batch(&self, keys: &[u64]) -> Vec<Option<u64>> {
         UpSkipList::get_batch(self, keys)
@@ -53,8 +67,11 @@ impl KvIndex for BzTree {
     fn get(&self, key: u64) -> Option<u64> {
         BzTree::get(self, key)
     }
-    fn scan(&self, from: u64, limit: usize) -> usize {
-        BzTree::scan(self, from, limit).len()
+    fn remove(&self, key: u64) -> Option<u64> {
+        BzTree::remove(self, key)
+    }
+    fn scan(&self, from: u64, limit: usize) -> Option<usize> {
+        Some(BzTree::scan(self, from, limit).len())
     }
 }
 
@@ -68,8 +85,11 @@ impl KvIndex for PmdkSkipList {
     fn get(&self, key: u64) -> Option<u64> {
         PmdkSkipList::get(self, key)
     }
-    fn scan(&self, from: u64, limit: usize) -> usize {
-        PmdkSkipList::scan(self, from, limit).len()
+    fn remove(&self, key: u64) -> Option<u64> {
+        PmdkSkipList::remove(self, key)
+    }
+    fn scan(&self, from: u64, limit: usize) -> Option<usize> {
+        Some(PmdkSkipList::scan(self, from, limit).len())
     }
 }
 
@@ -83,8 +103,16 @@ impl KvIndex for HybridSkipList {
     fn get(&self, key: u64) -> Option<u64> {
         HybridSkipList::get(self, key)
     }
-    fn scan(&self, _from: u64, _limit: usize) -> usize {
-        unimplemented!("the hybrid baseline is used for recovery experiments only")
+    fn remove(&self, key: u64) -> Option<u64> {
+        HybridSkipList::remove(self, key)
+    }
+    fn supports_scan(&self) -> bool {
+        false
+    }
+    fn scan(&self, _from: u64, _limit: usize) -> Option<usize> {
+        // The hybrid baseline keeps its index sharded by hash; it exists
+        // for recovery experiments and has no ordered range path.
+        None
     }
 }
 
@@ -98,6 +126,8 @@ pub struct Deployment {
     pub num_pools: u16,
     /// For single-pool deployments: stripe across this many nodes.
     pub striped_nodes: u16,
+    /// Observability level for every pool the constructors build.
+    pub obs: ObsLevel,
 }
 
 impl Deployment {
@@ -108,40 +138,62 @@ impl Deployment {
             latency: LatencyModel::pmem_default(),
             num_pools: 1,
             striped_nodes: 1,
+            obs: ObsLevel::Off,
+        }
+    }
+
+    /// [`Deployment::simple`] with pmem op counters on (metrics runs).
+    pub fn counted(records: u64) -> Self {
+        Self {
+            obs: ObsLevel::Counters,
+            ..Self::simple(records)
         }
     }
 }
 
-/// UPSkipList sized for the deployment. `keys_per_node` = 256 matches the
-/// evaluation (§5.1.2); 1 reproduces the single-key variant of Fig 5.3.
-pub fn build_upskiplist(d: &Deployment, keys_per_node: usize) -> Arc<UpSkipList> {
-    build_upskiplist_opts(d, keys_per_node, false, 0)
+/// UPSkipList build options — one struct instead of a constructor per
+/// knob combination. `..Default::default()` gives the evaluation's
+/// defaults; experiments override the field they sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct UpSkipListOpts {
+    /// Keys per multi-key node (§5.1.2 uses 256; 1 reproduces the
+    /// single-key variant of Fig 5.3).
+    pub keys_per_node: usize,
+    /// Sort node keys on lookup paths (crash campaigns exercise both).
+    pub sorted_lookups: bool,
+    /// DRAM search fingers (the traversal experiment toggles these).
+    pub fingers: bool,
+    /// Random write-back: evict one in N dirty lines (0 = off).
+    pub evict_one_in: u32,
 }
 
-/// [`build_upskiplist`] with the sorted-lookup extension and/or the
-/// random-eviction persistence mode (crash campaigns use both).
-pub fn build_upskiplist_opts(
-    d: &Deployment,
-    keys_per_node: usize,
-    sorted_lookups: bool,
-    evict_one_in: u32,
-) -> Arc<UpSkipList> {
-    let mut cfg = sized_config(d, keys_per_node);
-    cfg.sorted_lookups = sorted_lookups;
-    sized_builder(d, cfg, evict_one_in, false).create()
+impl Default for UpSkipListOpts {
+    fn default() -> Self {
+        Self {
+            keys_per_node: 16,
+            sorted_lookups: false,
+            fingers: true,
+            evict_one_in: 0,
+        }
+    }
 }
 
-/// UPSkipList deployment with pmem stats counters enabled and the search
-/// fingers toggleable — the traversal experiment compares fingered descents
-/// against the seed head-descent by pmem reads per operation.
-pub fn build_upskiplist_traversal(
-    d: &Deployment,
-    keys_per_node: usize,
-    fingers: bool,
-) -> Arc<UpSkipList> {
-    let mut cfg = sized_config(d, keys_per_node);
-    cfg.fingers = fingers;
-    sized_builder(d, cfg, 0, true).create()
+impl UpSkipListOpts {
+    /// Convenience: defaults with a specific node size.
+    pub fn keys_per_node(keys_per_node: usize) -> Self {
+        Self {
+            keys_per_node,
+            ..Self::default()
+        }
+    }
+}
+
+/// UPSkipList sized for the deployment, configured by `opts`.
+pub fn build_upskiplist(d: &Deployment, opts: UpSkipListOpts) -> Arc<UpSkipList> {
+    let mut cfg = sized_config(d, opts.keys_per_node);
+    cfg.sorted_lookups = opts.sorted_lookups;
+    cfg.fingers = opts.fingers;
+    sized_builder(d, cfg, opts.evict_one_in).create()
 }
 
 /// Tower height sized to the expected node count (the thesis tunes its
@@ -152,12 +204,7 @@ fn sized_config(d: &Deployment, keys_per_node: usize) -> ListConfig {
     ListConfig::new(height, keys_per_node)
 }
 
-fn sized_builder(
-    d: &Deployment,
-    cfg: ListConfig,
-    evict_one_in: u32,
-    collect_stats: bool,
-) -> ListBuilder {
+fn sized_builder(d: &Deployment, cfg: ListConfig, evict_one_in: u32) -> ListBuilder {
     let nodes = (d.records * 3 / 2) / cfg.keys_per_node as u64 + 64;
     let node_words = upskiplist::layout::node_words(&cfg).div_ceil(8) * 8;
     let blocks_per_chunk = 512.min(nodes.max(16));
@@ -179,7 +226,7 @@ fn sized_builder(
         evict_one_in,
         num_arenas: 8,
         blocks_per_chunk,
-        collect_stats,
+        obs: d.obs,
     }
 }
 
@@ -204,7 +251,7 @@ pub fn build_pool(d: &Deployment, words: u64) -> Arc<Pool> {
             },
             latency: d.latency,
             evict_one_in: 0,
-            collect_stats: false,
+            obs: d.obs,
         },
         Arc::new(pmem::CrashController::new()),
     )
@@ -231,22 +278,67 @@ pub fn build_pmdkskip(d: &Deployment) -> Arc<PmdkSkipList> {
     PmdkSkipList::create(build_pool(d, words), 32)
 }
 
+/// The DRAM-index hybrid baseline sized for the deployment. Every upsert
+/// of a new key appends one 3-word node; updates are in place.
+pub fn build_hybridskip(d: &Deployment) -> Arc<HybridSkipList> {
+    let words = 8 + 2 * d.records * 3 + (1 << 20);
+    HybridSkipList::create(build_pool(d, words))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn all_three_builders_produce_working_indexes() {
+    fn all_builders_produce_working_indexes() {
         let d = Deployment::simple(1000);
         let idx: Vec<Arc<dyn KvIndex>> = vec![
-            build_upskiplist(&d, 16),
+            build_upskiplist(&d, UpSkipListOpts::default()),
             build_bztree(&d, 1024),
             build_pmdkskip(&d),
+            build_hybridskip(&d),
         ];
         for i in idx {
             assert_eq!(i.insert(10, 100), None, "{}", i.name());
             assert_eq!(i.get(10), Some(100), "{}", i.name());
             assert_eq!(i.insert(10, 101), Some(100), "{}", i.name());
+            assert_eq!(i.remove(10), Some(101), "{}", i.name());
+            assert_eq!(i.get(10), None, "{}", i.name());
+            i.insert(5, 50);
+            i.insert(7, 70);
+            if i.supports_scan() {
+                assert_eq!(i.scan(1, 10), Some(2), "{}", i.name());
+            } else {
+                assert_eq!(i.scan(1, 10), None, "{}", i.name());
+            }
         }
+    }
+
+    #[test]
+    fn opts_cover_the_old_constructor_trio() {
+        let d = Deployment::counted(500);
+        // sorted + eviction (old build_upskiplist_opts)
+        let l = build_upskiplist(
+            &d,
+            UpSkipListOpts {
+                keys_per_node: 16,
+                sorted_lookups: true,
+                evict_one_in: 4,
+                ..Default::default()
+            },
+        );
+        l.insert(1, 1);
+        assert_eq!(l.get(1), Some(1));
+        // fingers off + counters (old build_upskiplist_traversal)
+        let l = build_upskiplist(
+            &d,
+            UpSkipListOpts {
+                fingers: false,
+                ..Default::default()
+            },
+        );
+        l.insert(2, 2);
+        assert_eq!(l.get(2), Some(2));
+        assert!(l.space().stats_snapshot().reads > 0, "counters must be on");
     }
 }

@@ -16,10 +16,11 @@
 pub mod args;
 pub mod driver;
 pub mod index;
+pub mod metrics;
 
 pub use args::{default_thread_sweep, Args};
-pub use driver::{load, percentile, run, run_batched, RunResult};
+pub use driver::{load, percentile, run, run_batched, run_metrics, RunResult};
 pub use index::{
-    build_bztree, build_pmdkskip, build_pool, build_upskiplist, build_upskiplist_opts,
-    build_upskiplist_traversal, Deployment, KvIndex,
+    build_bztree, build_hybridskip, build_pmdkskip, build_pool, build_upskiplist, Deployment,
+    KvIndex, UpSkipListOpts,
 };

@@ -85,6 +85,8 @@ impl UpSkipList {
             pred = cur;
             cur = succ0;
         }
+        self.stats.compaction();
+        self.stats.reclaimed(reclaimed as u64);
         reclaimed
     }
 }

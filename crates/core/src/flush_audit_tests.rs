@@ -1,0 +1,174 @@
+//! Flush-audit tests: assert that each write path flushes exactly the
+//! cache lines it claims to persist — the RECIPE-style validation the
+//! thesis applied by hand to check persist ordering, mechanized with
+//! [`pmem::audit`].
+//!
+//! The one sanctioned exception is the per-node lock word: read/write
+//! lock and unlock CASes dirty a node's header line without flushing it,
+//! by design — recovery tolerates stale lock state (`drain_readers`,
+//! Function 10), so persisting every lock transition would be pure
+//! overhead. Every test therefore asserts `unflushed ⊆ node header
+//! lines` (and usually something much tighter).
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use pmem::audit;
+use riv::RivPtr;
+
+use crate::config::ListConfig;
+use crate::layout::{node_words, val_off, N_LOCK};
+use crate::list::{ListBuilder, UpSkipList};
+
+/// The `(pool, line)` audit coordinate of `node + word`.
+fn line_of(l: &UpSkipList, node: RivPtr, word: u64) -> (u32, u64) {
+    let (pool, off) = l.space().resolve(node.add(word as u32));
+    (pool.id() as u32, pmem::line_of(off))
+}
+
+/// Every line a node's block occupies.
+fn node_lines(l: &UpSkipList, node: RivPtr) -> BTreeSet<(u32, u64)> {
+    let (pool, off) = l.space().resolve(node);
+    let first = pmem::line_of(off);
+    let last = pmem::line_of(off + node_words(l.config()) - 1);
+    (first..=last).map(|ln| (pool.id() as u32, ln)).collect()
+}
+
+/// Header (lock-word) lines of every node in the list, sentinels included.
+fn all_header_lines(l: &UpSkipList) -> BTreeSet<(u32, u64)> {
+    let mut out = BTreeSet::new();
+    out.insert(line_of(l, l.head(), N_LOCK));
+    let mut cur = l.next(l.head(), 0);
+    loop {
+        out.insert(line_of(l, cur, N_LOCK));
+        if cur == l.tail() {
+            return out;
+        }
+        cur = l.next(cur, 0);
+    }
+}
+
+fn list(keys_per_node: usize) -> Arc<UpSkipList> {
+    ListBuilder {
+        list: ListConfig::new(10, keys_per_node),
+        ..ListBuilder::default()
+    }
+    .create()
+}
+
+#[test]
+fn update_flushes_exactly_the_value_line() {
+    let l = list(4);
+    for k in 1..=16u64 {
+        l.insert(k, k);
+    }
+    let t = l.traverse(5);
+    assert!(t.found());
+    let val_line = line_of(&l, t.node(), val_off(l.config(), t.key_index));
+    let hdr_line = line_of(&l, t.node(), N_LOCK);
+
+    audit::begin();
+    assert_eq!(l.insert(5, 999), Some(5));
+    let rec = audit::end();
+
+    assert_eq!(
+        rec.flushed,
+        BTreeSet::from([val_line]),
+        "an in-place update must flush the value line and nothing else"
+    );
+    assert_eq!(
+        rec.written,
+        [val_line, hdr_line].into_iter().collect::<BTreeSet<_>>(),
+        "an update dirties only the value slot and the lock word"
+    );
+    assert_eq!(rec.unflushed(), rec.written.difference(&rec.flushed).copied().collect());
+    assert!(rec.unflushed().iter().all(|ln| *ln == hdr_line));
+    assert_eq!(rec.fences, 1, "one Persist linearizes the update");
+}
+
+#[test]
+fn remove_flushes_exactly_the_tombstoned_value_line() {
+    let l = list(4);
+    for k in 1..=16u64 {
+        l.insert(k, k);
+    }
+    let t = l.traverse(9);
+    assert!(t.found());
+    let val_line = line_of(&l, t.node(), val_off(l.config(), t.key_index));
+    let hdr_line = line_of(&l, t.node(), N_LOCK);
+
+    audit::begin();
+    assert_eq!(l.remove(9), Some(9));
+    let rec = audit::end();
+
+    assert_eq!(rec.flushed, BTreeSet::from([val_line]));
+    assert!(rec.unflushed().is_subset(&BTreeSet::from([hdr_line])));
+    assert_eq!(rec.fences, 1);
+}
+
+#[test]
+fn fresh_insert_flushes_the_whole_new_node_before_linking() {
+    // keys_per_node = 1 forces every insert through the
+    // allocate-initialize-link path (Function 15).
+    let l = list(1);
+    for k in [10u64, 20, 30] {
+        l.insert(k, k);
+    }
+
+    audit::begin();
+    assert_eq!(l.insert(15, 150), None);
+    let rec = audit::end();
+
+    let t = l.traverse(15);
+    assert!(t.found());
+    let new_node = t.node();
+    assert!(
+        node_lines(&l, new_node).is_subset(&rec.flushed),
+        "every line of the freshly linked node must have been flushed"
+    );
+    assert!(
+        rec.phantom_flushes().is_empty(),
+        "no line may be flushed without having been written: {:?}",
+        rec.phantom_flushes()
+    );
+    assert!(
+        rec.unflushed().is_subset(&all_header_lines(&l)),
+        "only lock words may stay unflushed, got {:?}",
+        rec.unflushed()
+    );
+    assert!(rec.fences >= 2, "block persist + link persist at minimum");
+}
+
+#[test]
+fn split_leaves_nothing_but_lock_words_unflushed() {
+    let l = list(4);
+    // Fill the first node (keys 1..=4 land in one 4-key node), then insert
+    // the key that forces it to split.
+    for k in 1..=4u64 {
+        l.insert(k, k);
+    }
+    let nodes_before = l.node_count();
+
+    audit::begin();
+    assert_eq!(l.insert(5, 50), None);
+    let rec = audit::end();
+
+    assert!(l.node_count() > nodes_before, "the insert must have split");
+    assert!(
+        rec.phantom_flushes().is_empty(),
+        "phantom flushes: {:?}",
+        rec.phantom_flushes()
+    );
+    assert!(
+        rec.unflushed().is_subset(&all_header_lines(&l)),
+        "split left non-lock lines unflushed: {:?}",
+        rec.unflushed()
+    );
+    // Lock persist, block persist, link persist, split-count persist,
+    // old-node persist — the split path fences generously.
+    assert!(rec.fences >= 4, "expected the split's persist chain, got {}", rec.fences);
+    for k in 1..=5u64 {
+        assert_eq!(l.get(k), Some(k * if k == 5 { 10 } else { 1 }));
+    }
+    l.check_invariants();
+}

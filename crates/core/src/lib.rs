@@ -49,13 +49,19 @@ pub(crate) mod finger;
 pub mod iter;
 pub mod layout;
 pub mod list;
+pub mod metrics;
 pub mod ops;
 pub mod recovery;
 pub mod rwlock;
 pub mod traverse;
 
+#[cfg(test)]
+mod flush_audit_tests;
+
 pub use config::{ListConfig, MAX_HEIGHT, MAX_USER_KEY, MIN_USER_KEY};
 pub use list::{ListBuilder, UpSkipList};
+pub use metrics::{StructMetricsSnapshot, StructStats};
+pub use obs::ObsLevel;
 
 #[cfg(test)]
 mod tests {

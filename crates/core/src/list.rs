@@ -4,6 +4,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use obs::{ObsLevel, Registry};
 use pmalloc::{AllocConfig, Allocator, Reachability, KIND_NODE};
 use pmem::pool::PoolConfig;
 use pmem::{CrashController, LatencyModel, PersistenceMode, Placement, Pool};
@@ -12,6 +13,7 @@ use riv::{RivPtr, RivSpace};
 use crate::config::{ListConfig, KEY_INF, KEY_NULL, TOMBSTONE};
 use crate::finger::FingerTable;
 use crate::layout::*;
+use crate::metrics::{StructMetricsSnapshot, StructStats};
 
 /// A PMEM-resident, recoverable, NUMA-aware lock-free skip list
 /// (the thesis's UPSkipList, Chapter 4).
@@ -28,6 +30,9 @@ pub struct UpSkipList {
     /// Volatile per-thread search-finger cache (never persisted; see
     /// `finger` module docs for the validation protocol).
     pub(crate) fingers: FingerTable,
+    /// Structure-level observability counters (DRAM-only; level derived
+    /// from pool 0's [`ObsLevel`]).
+    pub(crate) stats: StructStats,
 }
 
 impl std::fmt::Debug for UpSkipList {
@@ -59,9 +64,9 @@ pub struct ListBuilder {
     pub num_arenas: usize,
     /// Blocks carved per chunk (the thesis uses 4 MiB chunks).
     pub blocks_per_chunk: u64,
-    /// Maintain per-pool stats counters (off for throughput benchmarks —
-    /// they are shared atomics).
-    pub collect_stats: bool,
+    /// Observability level for the pools and the structure counters
+    /// (`Off` for throughput benchmarks — the counters are shared atomics).
+    pub obs: ObsLevel,
 }
 
 impl Default for ListBuilder {
@@ -76,12 +81,19 @@ impl Default for ListBuilder {
             evict_one_in: 0,
             num_arenas: 4,
             blocks_per_chunk: 64,
-            collect_stats: true,
+            obs: ObsLevel::Counters,
         }
     }
 }
 
 impl ListBuilder {
+    /// Migration shim for the pre-`ObsLevel` API.
+    #[deprecated(note = "set `obs` to ObsLevel::Counters / ObsLevel::Off instead")]
+    pub fn collect_stats(mut self, on: bool) -> Self {
+        self.obs = if on { ObsLevel::Counters } else { ObsLevel::Off };
+        self
+    }
+
     /// Words per block: one node of maximal height, rounded to cache lines.
     fn block_words(&self) -> u64 {
         node_words(&self.list).div_ceil(pmem::CACHE_LINE_WORDS) * pmem::CACHE_LINE_WORDS
@@ -122,7 +134,7 @@ impl ListBuilder {
                         mode: self.mode,
                         latency: self.latency,
                         evict_one_in: self.evict_one_in,
-                        collect_stats: self.collect_stats,
+                        obs: self.obs,
                     },
                     Arc::clone(&crash),
                 )
@@ -149,6 +161,7 @@ impl UpSkipList {
         let epoch = 1u64;
         alloc.format(epoch);
         let pool0 = Arc::clone(alloc.space().pool(0));
+        let stats = StructStats::new(pool0.obs_level());
         let list = Arc::new(Self {
             alloc,
             cfg,
@@ -156,6 +169,7 @@ impl UpSkipList {
             tail: RivPtr::NULL,
             epoch: AtomicU64::new(epoch),
             fingers: FingerTable::new(),
+            stats,
         });
         // Sentinels (§4.2). The tail is created first so the head can link
         // to it at every level.
@@ -199,6 +213,7 @@ impl UpSkipList {
         pool0.write(ROOT_EPOCH, epoch);
         pool0.write(ROOT_CLEAN, 0);
         pool0.persist(ROOT_EPOCH, 2);
+        let stats = StructStats::new(pool0.obs_level());
         Arc::new(Self {
             head: RivPtr::from_raw(pool0.read(ROOT_HEAD)),
             tail: RivPtr::from_raw(pool0.read(ROOT_TAIL)),
@@ -206,6 +221,7 @@ impl UpSkipList {
             cfg,
             epoch: AtomicU64::new(epoch),
             fingers: FingerTable::new(),
+            stats,
         })
     }
 
@@ -246,6 +262,28 @@ impl UpSkipList {
     #[inline]
     pub fn config(&self) -> &ListConfig {
         &self.cfg
+    }
+
+    /// The observability registry holding the structure-level counters
+    /// (`list.*` names); benches may add their own entries.
+    #[inline]
+    pub fn registry(&self) -> &Arc<Registry> {
+        self.stats.registry()
+    }
+
+    /// The observability level this deployment was built with.
+    #[inline]
+    pub fn obs_level(&self) -> ObsLevel {
+        self.stats.level()
+    }
+
+    /// Structure-level counters: CAS retries, lock waits, splits, finger
+    /// hits/misses, compactions, hops per level, plus the allocator's
+    /// fast/slow path hits.
+    pub fn struct_metrics(&self) -> StructMetricsSnapshot {
+        let mut s = self.stats.snapshot();
+        (s.alloc_fast, s.alloc_slow) = self.alloc.alloc_path_hits();
+        s
     }
 
     /// The current failure-free epoch.

@@ -1,0 +1,245 @@
+//! Structure-level observability for [`UpSkipList`](crate::UpSkipList):
+//! named counters for the events the pool-level [`pmem::Stats`] cannot see
+//! — CAS retries, node-lock acquisition failures, node splits, search-finger
+//! hits/misses, compactions, and traversal hops per level.
+//!
+//! All counters live in an [`obs::Registry`] owned by the list, so a bench
+//! can `registry().snapshot()` before and after a phase and diff with
+//! [`obs::Snapshot::since`]. The hot paths hold pre-resolved
+//! [`Arc<Counter>`] handles (no name lookups) and bail on a single `enabled`
+//! test when the list was built with [`obs::ObsLevel::Off`].
+
+use std::sync::Arc;
+
+use obs::{Counter, ObsLevel, Registry};
+
+use crate::config::MAX_HEIGHT;
+
+/// Pre-resolved counter handles for the list's hot paths.
+pub struct StructStats {
+    /// `ObsLevel::Counters` or `Full`: counters below are live.
+    pub(crate) enabled: bool,
+    /// `ObsLevel::Full`: callers may additionally record latency
+    /// histograms into [`StructStats::registry`].
+    pub(crate) full: bool,
+    registry: Arc<Registry>,
+    /// Link/claim/update CASes that lost a race and retried.
+    pub(crate) cas_retries: Arc<Counter>,
+    /// Per-node lock acquisitions (read or write) that failed and forced a
+    /// restart or defer.
+    pub(crate) lock_waits: Arc<Counter>,
+    /// Completed node splits.
+    pub(crate) node_splits: Arc<Counter>,
+    /// Traversals that adopted a search-finger hint.
+    pub(crate) finger_hits: Arc<Counter>,
+    /// Traversals whose finger slot was empty, stale, or contended.
+    pub(crate) finger_misses: Arc<Counter>,
+    /// Quiescent compaction passes.
+    pub(crate) compactions: Arc<Counter>,
+    /// Dead nodes unlinked and freed by compaction.
+    pub(crate) nodes_reclaimed: Arc<Counter>,
+    /// List-pointer hops taken at each level during traversals.
+    pub(crate) hops: [Arc<Counter>; MAX_HEIGHT],
+}
+
+impl std::fmt::Debug for StructStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StructStats")
+            .field("enabled", &self.enabled)
+            .field("full", &self.full)
+            .finish()
+    }
+}
+
+impl StructStats {
+    pub fn new(level: ObsLevel) -> Self {
+        let registry = Arc::new(Registry::new());
+        Self {
+            enabled: level.counters_enabled(),
+            full: level.full(),
+            cas_retries: registry.counter("list.cas_retries"),
+            lock_waits: registry.counter("list.lock_waits"),
+            node_splits: registry.counter("list.node_splits"),
+            finger_hits: registry.counter("list.finger_hits"),
+            finger_misses: registry.counter("list.finger_misses"),
+            compactions: registry.counter("list.compactions"),
+            nodes_reclaimed: registry.counter("list.nodes_reclaimed"),
+            hops: std::array::from_fn(|l| registry.counter(&format!("list.hops.l{l:02}"))),
+            registry,
+        }
+    }
+
+    /// The registry all structure counters live in. Benches may add their
+    /// own counters and histograms to it (the driver records per-op
+    /// latencies as `lat.<op>` histograms when the level is `Full`).
+    #[inline]
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    #[inline]
+    pub fn level(&self) -> ObsLevel {
+        if self.full {
+            ObsLevel::Full
+        } else if self.enabled {
+            ObsLevel::Counters
+        } else {
+            ObsLevel::Off
+        }
+    }
+
+    // Hot-path increment helpers: one predictable branch when off.
+
+    #[inline]
+    pub(crate) fn cas_retry(&self) {
+        if self.enabled {
+            self.cas_retries.inc();
+        }
+    }
+
+    #[inline]
+    pub(crate) fn lock_wait(&self) {
+        if self.enabled {
+            self.lock_waits.inc();
+        }
+    }
+
+    #[inline]
+    pub(crate) fn node_split(&self) {
+        if self.enabled {
+            self.node_splits.inc();
+        }
+    }
+
+    #[inline]
+    pub(crate) fn finger_hit(&self) {
+        if self.enabled {
+            self.finger_hits.inc();
+        }
+    }
+
+    #[inline]
+    pub(crate) fn finger_miss(&self) {
+        if self.enabled {
+            self.finger_misses.inc();
+        }
+    }
+
+    #[inline]
+    pub(crate) fn compaction(&self) {
+        if self.enabled {
+            self.compactions.inc();
+        }
+    }
+
+    #[inline]
+    pub(crate) fn reclaimed(&self, n: u64) {
+        if self.enabled {
+            self.nodes_reclaimed.add(n);
+        }
+    }
+
+    /// Record `n` hops taken at `level` during one traversal.
+    #[inline]
+    pub(crate) fn hops_at(&self, level: usize, n: u64) {
+        if self.enabled && n > 0 {
+            self.hops[level].add(n);
+        }
+    }
+
+    /// A plain-struct snapshot of the structure counters (the registry
+    /// remains the source of truth; this is a convenience for reports).
+    pub fn snapshot(&self) -> StructMetricsSnapshot {
+        StructMetricsSnapshot {
+            cas_retries: self.cas_retries.value(),
+            lock_waits: self.lock_waits.value(),
+            node_splits: self.node_splits.value(),
+            finger_hits: self.finger_hits.value(),
+            finger_misses: self.finger_misses.value(),
+            compactions: self.compactions.value(),
+            nodes_reclaimed: self.nodes_reclaimed.value(),
+            hops_per_level: std::array::from_fn(|l| self.hops[l].value()),
+            alloc_fast: 0,
+            alloc_slow: 0,
+        }
+    }
+}
+
+/// Point-in-time structure counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StructMetricsSnapshot {
+    pub cas_retries: u64,
+    pub lock_waits: u64,
+    pub node_splits: u64,
+    pub finger_hits: u64,
+    pub finger_misses: u64,
+    pub compactions: u64,
+    pub nodes_reclaimed: u64,
+    pub hops_per_level: [u64; MAX_HEIGHT],
+    /// Allocator fast-path hits (free-list pop with no chunk provisioning);
+    /// filled in by `UpSkipList::struct_metrics`, zero from
+    /// [`StructStats::snapshot`].
+    pub alloc_fast: u64,
+    /// Allocator slow-path hits (had to carve a new chunk).
+    pub alloc_slow: u64,
+}
+
+impl StructMetricsSnapshot {
+    pub fn since(&self, earlier: &StructMetricsSnapshot) -> StructMetricsSnapshot {
+        StructMetricsSnapshot {
+            cas_retries: self.cas_retries - earlier.cas_retries,
+            lock_waits: self.lock_waits - earlier.lock_waits,
+            node_splits: self.node_splits - earlier.node_splits,
+            finger_hits: self.finger_hits - earlier.finger_hits,
+            finger_misses: self.finger_misses - earlier.finger_misses,
+            compactions: self.compactions - earlier.compactions,
+            nodes_reclaimed: self.nodes_reclaimed - earlier.nodes_reclaimed,
+            hops_per_level: std::array::from_fn(|l| {
+                self.hops_per_level[l] - earlier.hops_per_level[l]
+            }),
+            alloc_fast: self.alloc_fast - earlier.alloc_fast,
+            alloc_slow: self.alloc_slow - earlier.alloc_slow,
+        }
+    }
+
+    /// Total hops across all levels.
+    pub fn total_hops(&self) -> u64 {
+        self.hops_per_level.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_level_counts_nothing() {
+        let s = StructStats::new(ObsLevel::Off);
+        s.cas_retry();
+        s.node_split();
+        s.hops_at(0, 5);
+        assert_eq!(s.snapshot(), StructMetricsSnapshot::default());
+        assert_eq!(s.level(), ObsLevel::Off);
+    }
+
+    #[test]
+    fn counters_feed_registry_and_snapshot() {
+        let s = StructStats::new(ObsLevel::Counters);
+        s.cas_retry();
+        s.cas_retry();
+        s.finger_hit();
+        s.hops_at(3, 7);
+        s.reclaimed(2);
+        let snap = s.snapshot();
+        assert_eq!(snap.cas_retries, 2);
+        assert_eq!(snap.finger_hits, 1);
+        assert_eq!(snap.hops_per_level[3], 7);
+        assert_eq!(snap.total_hops(), 7);
+        assert_eq!(snap.nodes_reclaimed, 2);
+        let reg = s.registry().snapshot();
+        assert_eq!(reg.counter("list.cas_retries"), 2);
+        assert_eq!(reg.counter("list.hops.l03"), 7);
+        assert_eq!(s.level(), ObsLevel::Counters);
+        assert_eq!(StructStats::new(ObsLevel::Full).level(), ObsLevel::Full);
+    }
+}

@@ -48,6 +48,7 @@ impl UpSkipList {
                     continue; // another thread is repairing the node
                 }
                 if !rwlock::try_read_lock(self.space(), node) {
+                    self.stats.lock_wait();
                     continue;
                 }
                 if self.split_count(node) != t.split_count {
@@ -127,6 +128,7 @@ impl UpSkipList {
                 continue;
             }
             if !rwlock::try_read_lock(self.space(), node) {
+                self.stats.lock_wait();
                 continue;
             }
             if self.split_count(node) != t.split_count {
@@ -220,6 +222,7 @@ impl UpSkipList {
                 self.space().persist(slot, 1);
                 return old;
             }
+            self.stats.cas_retry();
         }
     }
 
@@ -251,6 +254,7 @@ impl UpSkipList {
             .is_err()
         {
             // Lost the race; return the block (Function 15 line 194).
+            self.stats.cas_retry();
             self.alloc.free(self.epoch(), self.local_pool(), block);
             return false;
         }
@@ -274,6 +278,7 @@ impl UpSkipList {
             return InsertStatus::Restart;
         }
         if !rwlock::try_read_lock(self.space(), node) {
+            self.stats.lock_wait();
             return InsertStatus::Restart;
         }
         if self.split_count(node) != expected_split_count {
@@ -312,6 +317,7 @@ impl UpSkipList {
                     return InsertStatus::Done(old);
                 }
                 // Failed to claim: if the winner inserted our key, update.
+                self.stats.cas_retry();
                 if self.space().read(slot) == key {
                     let old = self.update(node, i, value);
                     rwlock::read_unlock(self.space(), node);
@@ -356,6 +362,7 @@ impl UpSkipList {
                 }
                 // The neighborhood changed: re-traverse for the node's own
                 // key and refresh its upper next pointers (lines 235–237).
+                self.stats.cas_retry();
                 let t = self.traverse(self.key0(node));
                 debug_assert!(t.found(), "node vanished while building its tower");
                 *preds = t.preds;
@@ -407,6 +414,7 @@ impl UpSkipList {
             return; // claimed by a recovering thread; the caller restarts
         }
         if !rwlock::try_write_lock(self.space(), node) {
+            self.stats.lock_wait();
             return; // someone else is progressing; the caller restarts
         }
         // Persist the lock before any split effect can become durable:
@@ -458,6 +466,7 @@ impl UpSkipList {
             )
             .is_err()
         {
+            self.stats.cas_retry();
             self.alloc.free(self.epoch(), self.local_pool(), block);
             rwlock::write_unlock(self.space(), node);
             return;
@@ -466,6 +475,7 @@ impl UpSkipList {
             .persist(node.add(next_off_cfg(&self.cfg, 0) as u32), 1);
         self.space().fetch_add(node.add(N_SPLIT_COUNT as u32), 1);
         self.space().persist(node.add(N_SPLIT_COUNT as u32), 1);
+        self.stats.node_split();
         // Erase the moved pairs from the old node (lines 265–267).
         let moved_keys: HashSet<u64> = moved.iter().map(|&(k, _)| k).collect();
         for i in 0..self.cfg.keys_per_node {

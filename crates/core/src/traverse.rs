@@ -53,11 +53,16 @@ impl UpSkipList {
         'outer: loop {
             let epoch = self.epoch();
             let hint = if self.cfg.fingers {
-                self.finger_load(epoch)
+                let h = self.finger_load(epoch);
+                if h.is_none() {
+                    self.stats.finger_miss();
+                }
+                h
             } else {
                 None
             };
             let mut hint_live = hint.is_some();
+            let mut hint_used = false;
             let mut preds = [RivPtr::NULL; MAX_HEIGHT];
             let mut succs = [RivPtr::NULL; MAX_HEIGHT];
             let mut key0s = [KEY_NULL; MAX_HEIGHT];
@@ -84,6 +89,10 @@ impl UpSkipList {
                             if hdr[crate::layout::N_EPOCH as usize] == epoch
                                 && hdr[crate::layout::N_KEYS as usize] == hk0
                             {
+                                if !hint_used {
+                                    hint_used = true;
+                                    self.stats.finger_hit();
+                                }
                                 split_count = hdr[crate::layout::N_SPLIT_COUNT as usize];
                                 pred = hp;
                                 pred_k0 = hk0;
@@ -111,6 +120,7 @@ impl UpSkipList {
                     }
                 }
                 let mut cur = self.next(pred, level);
+                let mut hops = 0u64;
                 loop {
                     debug_assert!(!cur.is_null(), "broken level {level}");
                     // One streamed line covers epoch, lock, split count and
@@ -135,8 +145,10 @@ impl UpSkipList {
                         pred = cur;
                         pred_k0 = k0;
                         cur = self.next(pred, level);
+                        hops += 1;
                         if k0 == key {
                             // Stepped into the containing node.
+                            self.stats.hops_at(level, hops);
                             preds[level] = pred;
                             succs[level] = cur;
                             key0s[level] = k0;
@@ -155,6 +167,7 @@ impl UpSkipList {
                         break;
                     }
                 }
+                self.stats.hops_at(level, hops);
                 preds[level] = pred;
                 succs[level] = cur;
                 key0s[level] = pred_k0;

@@ -1,0 +1,190 @@
+//! Metric export: a flat metric table rendered as nested JSON or CSV.
+//!
+//! The workspace has no serde; benches hand-roll their JSON. This module
+//! centralizes that for metric data: a [`MetricsReport`] is a list of
+//! `(structure, op, metric, value)` rows plus run metadata, rendered
+//! either as CSV (one row per line, trivially greppable) or as JSON
+//! grouped `structure → op → {metric: value}` (what E11 writes to
+//! `results/BENCH_metrics.json`).
+
+use std::collections::BTreeMap;
+
+/// One measured value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricRow {
+    /// Structure under test (`upskiplist`, `bztree`, …).
+    pub structure: String,
+    /// Operation type (`get`, `insert`, `scan`, `batch`, …).
+    pub op: String,
+    /// Metric name (`flushes_per_op`, `latency_p99_ns`, …).
+    pub metric: String,
+    pub value: f64,
+}
+
+/// A full report: metadata plus metric rows.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsReport {
+    /// Experiment name (`"metrics"` for E11).
+    pub experiment: String,
+    /// Run parameters, emitted verbatim into the JSON header (values must
+    /// already be valid JSON fragments: numbers or quoted strings).
+    pub meta: Vec<(String, String)>,
+    pub rows: Vec<MetricRow>,
+}
+
+/// Render a float the way the reports want: integers bare, fractions with
+/// enough digits to be useful, never `NaN`/`inf` (invalid JSON).
+fn fmt_value(v: f64) -> String {
+    if !v.is_finite() {
+        return "0".to_string();
+    }
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl MetricsReport {
+    pub fn new(experiment: &str) -> Self {
+        Self {
+            experiment: experiment.to_string(),
+            ..Self::default()
+        }
+    }
+
+    /// Add a metadata entry. `value` must be a valid JSON fragment
+    /// (a number, or an already-quoted string).
+    pub fn meta(&mut self, key: &str, value: impl ToString) {
+        self.meta.push((key.to_string(), value.to_string()));
+    }
+
+    pub fn push(&mut self, structure: &str, op: &str, metric: &str, value: f64) {
+        self.rows.push(MetricRow {
+            structure: structure.to_string(),
+            op: op.to_string(),
+            metric: metric.to_string(),
+            value,
+        });
+    }
+
+    /// `structure,op,metric,value` rows with a header line.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("structure,op,metric,value\n");
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{},{},{},{}\n",
+                r.structure,
+                r.op,
+                r.metric,
+                fmt_value(r.value)
+            ));
+        }
+        out
+    }
+
+    /// Nested JSON: `{"experiment": …, meta…, "structures": {s: {op:
+    /// {metric: value}}}}`. Grouping preserves row insertion order within
+    /// maps sorted by key.
+    pub fn to_json(&self) -> String {
+        let mut grouped: BTreeMap<&str, BTreeMap<&str, Vec<&MetricRow>>> = BTreeMap::new();
+        for r in &self.rows {
+            grouped
+                .entry(&r.structure)
+                .or_default()
+                .entry(&r.op)
+                .or_default()
+                .push(r);
+        }
+        let mut out = String::from("{\n");
+        out.push_str(&format!(
+            "  \"experiment\": \"{}\",\n",
+            json_escape(&self.experiment)
+        ));
+        for (k, v) in &self.meta {
+            out.push_str(&format!("  \"{}\": {},\n", json_escape(k), v));
+        }
+        out.push_str("  \"structures\": {\n");
+        let n_structs = grouped.len();
+        for (si, (structure, ops)) in grouped.iter().enumerate() {
+            out.push_str(&format!("    \"{}\": {{\n", json_escape(structure)));
+            let n_ops = ops.len();
+            for (oi, (op, rows)) in ops.iter().enumerate() {
+                out.push_str(&format!("      \"{}\": {{", json_escape(op)));
+                for (ri, r) in rows.iter().enumerate() {
+                    if ri > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str(&format!(
+                        "\"{}\": {}",
+                        json_escape(&r.metric),
+                        fmt_value(r.value)
+                    ));
+                }
+                out.push_str(if oi + 1 == n_ops { "}\n" } else { "},\n" });
+            }
+            out.push_str(if si + 1 == n_structs { "    }\n" } else { "    },\n" });
+        }
+        out.push_str("  }\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MetricsReport {
+        let mut r = MetricsReport::new("metrics");
+        r.meta("records", 100);
+        r.push("upskiplist", "get", "flushes_per_op", 0.0);
+        r.push("upskiplist", "get", "latency_p50_ns", 812.0);
+        r.push("upskiplist", "insert", "flushes_per_op", 2.5);
+        r.push("bztree", "get", "reads_per_op", 7.0);
+        r
+    }
+
+    #[test]
+    fn csv_round() {
+        let csv = sample().to_csv();
+        assert!(csv.starts_with("structure,op,metric,value\n"));
+        assert!(csv.contains("upskiplist,insert,flushes_per_op,2.5000\n"));
+        assert!(csv.contains("bztree,get,reads_per_op,7\n"));
+    }
+
+    #[test]
+    fn json_groups_by_structure_and_op() {
+        let j = sample().to_json();
+        assert!(j.contains("\"experiment\": \"metrics\""));
+        assert!(j.contains("\"records\": 100"));
+        assert!(j.contains("\"flushes_per_op\": 0, \"latency_p50_ns\": 812"));
+        assert!(j.contains("\"insert\": {\"flushes_per_op\": 2.5000}"));
+        // Every brace balances.
+        let opens = j.matches('{').count();
+        let closes = j.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn json_escapes_and_rejects_nonfinite() {
+        let mut r = MetricsReport::new("a\"b");
+        r.push("s", "o", "m", f64::NAN);
+        let j = r.to_json();
+        assert!(j.contains("a\\\"b"));
+        assert!(j.contains("\"m\": 0"));
+    }
+}

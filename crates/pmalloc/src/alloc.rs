@@ -51,6 +51,10 @@ pub struct Allocator {
     space: Arc<RivSpace>,
     cfg: AllocConfig,
     layout: PoolLayout,
+    /// Allocations served straight off an arena free list.
+    fast_allocs: std::sync::atomic::AtomicU64,
+    /// Allocations that had to provision (carve) a new chunk first.
+    slow_allocs: std::sync::atomic::AtomicU64,
 }
 
 impl std::fmt::Debug for Allocator {
@@ -72,7 +76,21 @@ impl Allocator {
         );
         assert!(cfg.block_words > BLK_CLIENT, "blocks must fit their header");
         let layout = PoolLayout::for_config(&cfg);
-        Self { space, cfg, layout }
+        Self {
+            space,
+            cfg,
+            layout,
+            fast_allocs: std::sync::atomic::AtomicU64::new(0),
+            slow_allocs: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// `(fast, slow)` allocation-path hit counts: `fast` popped a block off
+    /// an arena free list directly, `slow` had to provision a fresh chunk
+    /// first. DRAM-only diagnostics (reset on restart).
+    pub fn alloc_path_hits(&self) -> (u64, u64) {
+        use std::sync::atomic::Ordering::Relaxed;
+        (self.fast_allocs.load(Relaxed), self.slow_allocs.load(Relaxed))
     }
 
     #[inline]
@@ -132,6 +150,7 @@ impl Allocator {
         let arena = ctx.id % self.cfg.num_arenas;
         let pool = self.space.pool(pool_id);
         let head_slot = self.layout.arena_head(arena);
+        let mut provisioned = false;
         loop {
             let head_raw = pool.read(head_slot);
             let head = RivPtr::from_raw(head_raw);
@@ -143,6 +162,7 @@ impl Allocator {
             if next_raw == 0 {
                 // The last block is never popped; grow instead (line 34).
                 self.provision_chunk(epoch, pool_id, reach);
+                provisioned = true;
                 continue;
             }
             // Function 3: validate any stale log, then log this attempt.
@@ -165,6 +185,12 @@ impl Allocator {
                     let _ = pool.cas(tail_slot, head_raw, next_raw);
                     pool.persist(tail_slot, 1);
                 }
+                let path = if provisioned {
+                    &self.slow_allocs
+                } else {
+                    &self.fast_allocs
+                };
+                path.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 return head;
             }
         }

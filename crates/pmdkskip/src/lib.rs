@@ -215,15 +215,17 @@ impl PmdkSkipList {
             let Some(guards) = self.lock_preds(&preds, height) else {
                 continue;
             };
-            // Validate while holding the locks.
+            // Validate while holding the locks. Unlike the lazy list this
+            // is modelled on, removal here is logical-only (nodes are
+            // never unlinked), so a *marked* successor is still a valid
+            // link target — only a marked predecessor or a changed link
+            // invalidates; treating marked successors as invalid would
+            // livelock every insert in front of a removed key.
             let pool = self.pool();
             let mut valid = true;
             for level in 0..height {
                 let p = preds[level];
-                if pool.read(p + N_MARKED) == 1
-                    || (succs[level] != 0 && pool.read(succs[level] + N_MARKED) == 1)
-                    || self.next(p, level) != succs[level]
-                {
+                if pool.read(p + N_MARKED) == 1 || self.next(p, level) != succs[level] {
                     valid = false;
                     break;
                 }
@@ -391,6 +393,22 @@ mod tests {
         assert_eq!(l.remove(5), Some(51));
         assert_eq!(l.get(5), None);
         assert_eq!(l.remove(5), None);
+    }
+
+    #[test]
+    fn insert_in_front_of_a_removed_key_terminates() {
+        // Regression: validation used to reject marked successors, but a
+        // logically removed node is never unlinked — every insert whose
+        // successor was removed would retry forever.
+        let l = list();
+        l.insert(10, 100);
+        assert_eq!(l.remove(10), Some(100));
+        assert_eq!(l.insert(5, 50), None);
+        assert_eq!(l.insert(7, 70), None);
+        assert_eq!(l.get(5), Some(50));
+        assert_eq!(l.get(7), Some(70));
+        assert_eq!(l.get(10), None);
+        assert_eq!(l.scan(1, 10).len(), 2);
     }
 
     #[test]

@@ -1,0 +1,119 @@
+//! Flush audit: record exactly which cache lines a code path wrote and
+//! which it flushed, so tests can assert that write paths flush precisely
+//! the lines they claim to — the validation trick the RECIPE authors used
+//! to check persist ordering by hand, mechanized.
+//!
+//! The audit is a test facility, not a production feature: it is armed by
+//! a global flag ([`begin`]) and records into thread-local sets, so it is
+//! meaningful only for single-threaded test scenarios. The pool hooks live
+//! inside the `accounting` branch, so with observability off the hot path
+//! is untouched even when the audit machinery is compiled in.
+//!
+//! A "line" is identified as `(pool_id, line_index)` where `line_index`
+//! is the word offset of the line start (`crate::line_of`).
+
+use std::cell::RefCell;
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static AUDIT_ON: AtomicBool = AtomicBool::new(false);
+
+thread_local! {
+    static RECORD: RefCell<AuditRecord> = RefCell::new(AuditRecord::default());
+}
+
+/// Lines written / flushed (and fences issued) by the calling thread since
+/// [`begin`].
+#[derive(Debug, Default, Clone)]
+pub struct AuditRecord {
+    /// Lines dirtied by a `write`, successful `cas`, or `fetch_add`.
+    pub written: BTreeSet<(u32, u64)>,
+    /// Lines explicitly flushed (CLWB).
+    pub flushed: BTreeSet<(u32, u64)>,
+    /// Fences (SFENCE) issued.
+    pub fences: u64,
+}
+
+impl AuditRecord {
+    /// Lines written but never flushed: dirty data that would be lost on a
+    /// crash. Write paths claiming full persistence must keep this empty
+    /// (modulo lines whose loss is tolerated by design, e.g. lock words).
+    pub fn unflushed(&self) -> BTreeSet<(u32, u64)> {
+        self.written.difference(&self.flushed).copied().collect()
+    }
+
+    /// Lines flushed without being written: wasted CLWBs.
+    pub fn phantom_flushes(&self) -> BTreeSet<(u32, u64)> {
+        self.flushed.difference(&self.written).copied().collect()
+    }
+}
+
+/// Arm the audit and clear the calling thread's record.
+pub fn begin() {
+    RECORD.with(|r| *r.borrow_mut() = AuditRecord::default());
+    AUDIT_ON.store(true, Ordering::SeqCst);
+}
+
+/// Disarm the audit and return the calling thread's record.
+pub fn end() -> AuditRecord {
+    AUDIT_ON.store(false, Ordering::SeqCst);
+    RECORD.with(|r| std::mem::take(&mut *r.borrow_mut()))
+}
+
+#[inline]
+pub(crate) fn armed() -> bool {
+    AUDIT_ON.load(Ordering::Relaxed)
+}
+
+#[cold]
+pub(crate) fn note_write(pool: u32, line: u64) {
+    RECORD.with(|r| {
+        r.borrow_mut().written.insert((pool, line));
+    });
+}
+
+#[cold]
+pub(crate) fn note_flush(pool: u32, line: u64) {
+    RECORD.with(|r| {
+        r.borrow_mut().flushed.insert((pool, line));
+    });
+}
+
+#[cold]
+pub(crate) fn note_fence() {
+    RECORD.with(|r| {
+        r.borrow_mut().fences += 1;
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_tracks_sets_and_diffs() {
+        begin();
+        note_write(0, 8);
+        note_write(0, 16);
+        note_flush(0, 8);
+        note_flush(1, 0);
+        note_fence();
+        let rec = end();
+        assert_eq!(rec.written.len(), 2);
+        assert_eq!(rec.unflushed(), BTreeSet::from([(0, 16)]));
+        assert_eq!(rec.phantom_flushes(), BTreeSet::from([(1, 0)]));
+        assert_eq!(rec.fences, 1);
+        // Disarmed: notes are only taken via pool hooks which check armed().
+        assert!(!armed());
+    }
+
+    #[test]
+    fn begin_clears_previous_record() {
+        begin();
+        note_write(0, 8);
+        let _ = end();
+        begin();
+        let rec = end();
+        assert!(rec.written.is_empty());
+    }
+}

@@ -31,6 +31,7 @@
 //! [`LatencyModel`] is enabled, remote accesses are charged an extra penalty,
 //! which is what the NUMA-awareness experiments measure.
 
+pub mod audit;
 pub mod crash;
 pub mod latency;
 pub mod pool;
@@ -40,8 +41,9 @@ pub mod topology;
 
 pub use crash::{run_crashable, CrashController, Crashed};
 pub use latency::LatencyModel;
+pub use obs::{ObsLevel, OpKind};
 pub use pool::{discard_pending, sfence, PersistenceMode, Pool, POOL_MAGIC};
-pub use stats::Stats;
+pub use stats::{op_tag, OpTag, Stats, StatsSnapshot};
 pub use topology::Placement;
 
 /// Number of 8-byte words per simulated cache line (64 bytes).

@@ -10,9 +10,12 @@ use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use obs::ObsLevel;
+
+use crate::audit;
 use crate::crash::CrashController;
 use crate::latency::LatencyModel;
-use crate::stats::Stats;
+use crate::stats::{Field, Stats};
 use crate::thread;
 use crate::topology::Placement;
 use crate::CACHE_LINE_WORDS;
@@ -44,9 +47,12 @@ pub struct PoolConfig {
     /// probability `1/evict_one_in` (0 disables), modelling cache
     /// write-backs that happen without an explicit flush.
     pub evict_one_in: u32,
-    /// Maintain the per-pool [`Stats`] counters. They are shared atomics
-    /// (a contended cache line), so throughput benchmarks turn them off.
-    pub collect_stats: bool,
+    /// Observability level. At [`ObsLevel::Off`] the per-pool [`Stats`]
+    /// counters (shared atomics — a contended cache line) are never
+    /// touched, so throughput benchmarks pay nothing; `Counters` and
+    /// `Full` both maintain them (`Full` additionally enables latency
+    /// histograms in the layers above the pool).
+    pub obs: ObsLevel,
 }
 
 impl PoolConfig {
@@ -59,7 +65,7 @@ impl PoolConfig {
             mode: PersistenceMode::Fast,
             latency: LatencyModel::default(),
             evict_one_in: 0,
-            collect_stats: true,
+            obs: ObsLevel::Counters,
         }
     }
 
@@ -82,8 +88,10 @@ pub struct Pool {
     latency: LatencyModel,
     latency_enabled: bool,
     evict_one_in: u32,
-    collect_stats: bool,
-    /// `collect_stats || latency_enabled`, precomputed so the per-word hot
+    obs: ObsLevel,
+    /// `obs.counters_enabled()`, precomputed.
+    counters: bool,
+    /// `counters || latency_enabled`, precomputed so the per-word hot
     /// path pays a single never-taken branch when both are off.
     accounting: bool,
     stats: Stats,
@@ -128,8 +136,9 @@ impl Pool {
             latency_enabled,
             latency: cfg.latency,
             evict_one_in: cfg.evict_one_in,
-            collect_stats: cfg.collect_stats,
-            accounting: cfg.collect_stats || latency_enabled,
+            obs: cfg.obs,
+            counters: cfg.obs.counters_enabled(),
+            accounting: cfg.obs.counters_enabled() || latency_enabled,
             stats: Stats::default(),
         })
     }
@@ -175,6 +184,12 @@ impl Pool {
         &self.stats
     }
 
+    /// The observability level this pool was built with.
+    #[inline]
+    pub fn obs_level(&self) -> ObsLevel {
+        self.obs
+    }
+
     #[inline]
     pub fn is_tracked(&self) -> bool {
         self.persisted.is_some()
@@ -188,19 +203,14 @@ impl Pool {
         }
     }
 
-    #[inline]
-    fn count(&self, counter: &AtomicU64) {
-        if self.collect_stats {
-            Stats::bump(counter);
-        }
-    }
-
     /// Outlined accounting for single-word accesses: the hot path pays one
     /// fused `accounting` test and jumps here only when stats or the
     /// latency model are on.
     #[cold]
-    fn account_word(&self, counter: &AtomicU64, spins: u32, off: u64) {
-        self.count(counter);
+    fn account_word(&self, field: Field, spins: u32, off: u64) {
+        if self.counters {
+            self.stats.bump(field);
+        }
         self.charge(spins, off);
     }
 
@@ -209,7 +219,7 @@ impl Pool {
     pub fn read(&self, off: u64) -> u64 {
         self.crash.check();
         if self.accounting {
-            self.account_word(&self.stats.reads, self.latency.read_spins, off);
+            self.account_word(Field::Reads, self.latency.read_spins, off);
         }
         self.volatile[off as usize].load(Ordering::Acquire)
     }
@@ -241,8 +251,8 @@ impl Pool {
     #[cold]
     fn account_slice(&self, off: u64, words: u64) {
         let lines = crate::line_of(off + words - 1) - crate::line_of(off) + 1;
-        if self.collect_stats {
-            Stats::bump_by(&self.stats.reads, lines);
+        if self.counters {
+            self.stats.bump_by(Field::Reads, lines);
         }
         if self.latency_enabled {
             let node = thread::current().numa_node;
@@ -258,7 +268,10 @@ impl Pool {
     pub fn write(&self, off: u64, value: u64) {
         self.crash.check();
         if self.accounting {
-            self.account_word(&self.stats.writes, self.latency.write_spins, off);
+            self.account_word(Field::Writes, self.latency.write_spins, off);
+            if audit::armed() {
+                audit::note_write(self.id as u32, crate::line_of(off));
+            }
         }
         self.volatile[off as usize].store(value, Ordering::Release);
         self.maybe_evict(off);
@@ -270,7 +283,7 @@ impl Pool {
     pub fn cas(&self, off: u64, old: u64, new: u64) -> Result<u64, u64> {
         self.crash.check();
         if self.accounting {
-            self.account_word(&self.stats.cas_ops, self.latency.write_spins, off);
+            self.account_word(Field::Cas, self.latency.write_spins, off);
         }
         let r = self.volatile[off as usize].compare_exchange(
             old,
@@ -279,6 +292,10 @@ impl Pool {
             Ordering::Acquire,
         );
         if r.is_ok() {
+            // Only a successful CAS dirties the line.
+            if self.accounting && audit::armed() {
+                audit::note_write(self.id as u32, crate::line_of(off));
+            }
             self.maybe_evict(off);
         }
         r
@@ -289,7 +306,10 @@ impl Pool {
     pub fn fetch_add(&self, off: u64, delta: u64) -> u64 {
         self.crash.check();
         if self.accounting {
-            self.account_word(&self.stats.cas_ops, self.latency.write_spins, off);
+            self.account_word(Field::Cas, self.latency.write_spins, off);
+            if audit::armed() {
+                audit::note_write(self.id as u32, crate::line_of(off));
+            }
         }
         let prev = self.volatile[off as usize].fetch_add(delta, Ordering::AcqRel);
         self.maybe_evict(off);
@@ -306,11 +326,10 @@ impl Pool {
     fn flush_line(self: &Arc<Self>, line: u64) {
         self.crash.check();
         if self.accounting {
-            self.account_word(
-                &self.stats.flushes,
-                self.latency.flush_spins,
-                line * CACHE_LINE_WORDS,
-            );
+            self.account_word(Field::Flushes, self.latency.flush_spins, line * CACHE_LINE_WORDS);
+            if audit::armed() {
+                audit::note_flush(self.id as u32, line);
+            }
         }
         if self.persisted.is_some() {
             PENDING.with(|p| {
@@ -347,7 +366,14 @@ impl Pool {
     /// Flush + fence: the `Persist` primitive of Function 1.
     pub fn persist(self: &Arc<Self>, off: u64, words: u64) {
         self.flush_range(off, words);
-        self.count(&self.stats.fences);
+        if self.accounting {
+            if self.counters {
+                self.stats.bump(Field::Fences);
+            }
+            if audit::armed() {
+                audit::note_fence();
+            }
+        }
         if self.latency_enabled {
             self.latency.charge(self.latency.fence_spins, false);
         }
@@ -612,10 +638,11 @@ mod tests {
     }
 
     #[test]
-    fn disabled_stats_stay_zero() {
+    fn obs_off_keeps_stats_zero() {
         let mut cfg = PoolConfig::simple(64);
-        cfg.collect_stats = false;
+        cfg.obs = ObsLevel::Off;
         let p = Pool::new(cfg, Arc::new(CrashController::new()));
+        assert_eq!(p.obs_level(), ObsLevel::Off);
         p.write(0, 1);
         p.read(0);
         let _ = p.cas(0, 1, 2);
@@ -624,6 +651,25 @@ mod tests {
         p.read_slice(0, &mut buf);
         p.persist(0, 16);
         assert_eq!(p.stats().snapshot(), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn audit_sees_writes_flushes_and_fences() {
+        let p = Pool::tracked(64);
+        audit::begin();
+        p.write(1, 7); // line 0
+        p.write(9, 8); // line 1, never flushed
+        assert_eq!(p.cas(1, 0, 9), Err(7)); // failed CAS dirties nothing
+        p.persist(1, 1);
+        let rec = audit::end();
+        assert_eq!(
+            rec.written,
+            std::collections::BTreeSet::from([(0, 0), (0, 1)])
+        );
+        assert_eq!(rec.flushed, std::collections::BTreeSet::from([(0, 0)]));
+        assert_eq!(rec.unflushed(), std::collections::BTreeSet::from([(0, 1)]));
+        assert!(rec.phantom_flushes().is_empty());
+        assert_eq!(rec.fences, 1);
     }
 
     #[test]

@@ -1,24 +1,96 @@
-//! Per-pool operation counters.
+//! Per-pool operation counters with per-op-type attribution.
 //!
 //! The RECIPE authors validated persist ordering by tracking cache-line
 //! flushes (thesis §4.1.1); these counters serve the same role in tests
 //! (asserting that code paths flush what they claim to) and feed the
 //! benchmark reports.
+//!
+//! Counters are kept **per operation type**: a bench thread tags itself
+//! with the [`OpKind`] of the operation in flight ([`op_tag`]), and every
+//! bump lands in that kind's bucket. [`Stats::snapshot`] sums the buckets
+//! (the seed's pool-wide totals); [`Stats::snapshot_by_op`] exposes the
+//! attribution E11 reports (flushes/fences/reads per get vs insert vs scan
+//! vs batch).
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Monotonic counters for one pool. All increments are `Relaxed`; the stats
-/// are advisory, not synchronization.
-#[derive(Debug, Default)]
-pub struct Stats {
-    pub reads: AtomicU64,
-    pub writes: AtomicU64,
-    pub cas_ops: AtomicU64,
-    pub flushes: AtomicU64,
-    pub fences: AtomicU64,
+pub use obs::OpKind;
+
+/// Number of attribution buckets.
+pub const OP_KINDS: usize = OpKind::ALL.len();
+
+thread_local! {
+    /// The [`OpKind`] the calling thread is currently executing; bumps are
+    /// attributed to it. Untagged work lands in [`OpKind::Other`].
+    static CURRENT_OP: Cell<usize> = const { Cell::new(OpKind::Other as usize) };
 }
 
-/// A point-in-time copy of [`Stats`].
+/// Tag the calling thread with the kind of the operation in flight. The
+/// previous tag is restored when the guard drops, so tags nest.
+#[must_use = "the tag lasts only while the guard lives"]
+pub fn op_tag(kind: OpKind) -> OpTag {
+    OpTag {
+        prev: CURRENT_OP.replace(kind as usize),
+    }
+}
+
+/// Guard returned by [`op_tag`]; restores the previous tag on drop.
+#[derive(Debug)]
+pub struct OpTag {
+    prev: usize,
+}
+
+impl Drop for OpTag {
+    fn drop(&mut self) {
+        CURRENT_OP.set(self.prev);
+    }
+}
+
+#[inline]
+fn current_op() -> usize {
+    CURRENT_OP.get()
+}
+
+/// Which counter a pool access bumps.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Field {
+    Reads,
+    Writes,
+    Cas,
+    Flushes,
+    Fences,
+}
+
+#[derive(Debug, Default)]
+struct OpCounters {
+    reads: AtomicU64,
+    writes: AtomicU64,
+    cas_ops: AtomicU64,
+    flushes: AtomicU64,
+    fences: AtomicU64,
+}
+
+impl OpCounters {
+    fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            cas_ops: self.cas_ops.load(Ordering::Relaxed),
+            flushes: self.flushes.load(Ordering::Relaxed),
+            fences: self.fences.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Monotonic counters for one pool, one bucket per [`OpKind`]. All
+/// increments are `Relaxed`; the stats are advisory, not synchronization.
+#[derive(Debug, Default)]
+pub struct Stats {
+    per_op: [OpCounters; OP_KINDS],
+}
+
+/// A point-in-time copy of [`Stats`] (one bucket, or the sum of all).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StatsSnapshot {
     pub reads: u64,
@@ -30,26 +102,43 @@ pub struct StatsSnapshot {
 
 impl Stats {
     #[inline]
-    pub(crate) fn bump(counter: &AtomicU64) {
-        counter.fetch_add(1, Ordering::Relaxed);
+    pub(crate) fn bump(&self, field: Field) {
+        self.bump_by(field, 1);
     }
 
     /// Batched increment: one RMW on the shared cache line instead of `n`
     /// (the streamed-read fast path accounts a whole slice at once).
     #[inline]
-    pub(crate) fn bump_by(counter: &AtomicU64, n: u64) {
+    pub(crate) fn bump_by(&self, field: Field, n: u64) {
+        let bucket = &self.per_op[current_op()];
+        let counter = match field {
+            Field::Reads => &bucket.reads,
+            Field::Writes => &bucket.writes,
+            Field::Cas => &bucket.cas_ops,
+            Field::Flushes => &bucket.flushes,
+            Field::Fences => &bucket.fences,
+        };
         counter.fetch_add(n, Ordering::Relaxed);
     }
 
-    /// Copy the current counter values.
+    /// Pool-wide totals: the sum over every op-kind bucket (what the seed's
+    /// single-bucket `Stats` reported).
     pub fn snapshot(&self) -> StatsSnapshot {
-        StatsSnapshot {
-            reads: self.reads.load(Ordering::Relaxed),
-            writes: self.writes.load(Ordering::Relaxed),
-            cas_ops: self.cas_ops.load(Ordering::Relaxed),
-            flushes: self.flushes.load(Ordering::Relaxed),
-            fences: self.fences.load(Ordering::Relaxed),
+        let mut total = StatsSnapshot::default();
+        for b in &self.per_op {
+            total = total.plus(&b.snapshot());
         }
+        total
+    }
+
+    /// Counters attributed to one operation type.
+    pub fn snapshot_op(&self, kind: OpKind) -> StatsSnapshot {
+        self.per_op[kind as usize].snapshot()
+    }
+
+    /// All buckets at once, indexed by `OpKind as usize`.
+    pub fn snapshot_by_op(&self) -> [StatsSnapshot; OP_KINDS] {
+        std::array::from_fn(|i| self.per_op[i].snapshot())
     }
 }
 
@@ -64,6 +153,30 @@ impl StatsSnapshot {
             fences: self.fences - earlier.fences,
         }
     }
+
+    /// Element-wise sum (cross-pool and cross-bucket aggregation).
+    pub fn plus(&self, other: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            reads: self.reads + other.reads,
+            writes: self.writes + other.writes,
+            cas_ops: self.cas_ops + other.cas_ops,
+            flushes: self.flushes + other.flushes,
+            fences: self.fences + other.fences,
+        }
+    }
+}
+
+impl std::ops::Add for StatsSnapshot {
+    type Output = StatsSnapshot;
+    fn add(self, rhs: StatsSnapshot) -> StatsSnapshot {
+        self.plus(&rhs)
+    }
+}
+
+impl std::iter::Sum for StatsSnapshot {
+    fn sum<I: Iterator<Item = StatsSnapshot>>(iter: I) -> StatsSnapshot {
+        iter.fold(StatsSnapshot::default(), |a, b| a.plus(&b))
+    }
 }
 
 #[cfg(test)]
@@ -73,14 +186,56 @@ mod tests {
     #[test]
     fn snapshot_diff() {
         let s = Stats::default();
-        Stats::bump(&s.reads);
+        s.bump(Field::Reads);
         let a = s.snapshot();
-        Stats::bump(&s.reads);
-        Stats::bump(&s.flushes);
+        s.bump(Field::Reads);
+        s.bump(Field::Flushes);
         let b = s.snapshot();
         let d = b.since(&a);
         assert_eq!(d.reads, 1);
         assert_eq!(d.flushes, 1);
         assert_eq!(d.writes, 0);
+    }
+
+    #[test]
+    fn bumps_attribute_to_the_tagged_op() {
+        let s = Stats::default();
+        s.bump(Field::Reads); // untagged → Other
+        {
+            let _t = op_tag(OpKind::Get);
+            s.bump(Field::Reads);
+            s.bump(Field::Reads);
+            {
+                let _inner = op_tag(OpKind::Insert);
+                s.bump(Field::Writes);
+            }
+            // Nested tag restored.
+            s.bump(Field::Reads);
+        }
+        s.bump(Field::Fences); // tag dropped → Other again
+        assert_eq!(s.snapshot_op(OpKind::Get).reads, 3);
+        assert_eq!(s.snapshot_op(OpKind::Insert).writes, 1);
+        assert_eq!(s.snapshot_op(OpKind::Other).reads, 1);
+        assert_eq!(s.snapshot_op(OpKind::Other).fences, 1);
+        // Totals see everything.
+        assert_eq!(s.snapshot().reads, 4);
+        let by_op = s.snapshot_by_op();
+        assert_eq!(by_op.iter().copied().sum::<StatsSnapshot>(), s.snapshot());
+    }
+
+    #[test]
+    fn snapshots_sum_elementwise() {
+        let a = StatsSnapshot {
+            reads: 1,
+            writes: 2,
+            cas_ops: 3,
+            flushes: 4,
+            fences: 5,
+        };
+        let b = a;
+        let c = a + b;
+        assert_eq!(c.reads, 2);
+        assert_eq!(c.fences, 10);
+        assert_eq!(vec![a, b].into_iter().sum::<StatsSnapshot>(), c);
     }
 }

@@ -3,7 +3,7 @@
 use std::sync::Arc;
 
 use pmem::pool::PoolConfig;
-use pmem::{run_crashable, CrashController, Placement, Pool};
+use pmem::{op_tag, run_crashable, CrashController, ObsLevel, OpKind, Placement, Pool, StatsSnapshot};
 
 #[test]
 fn read_slice_matches_individual_reads() {
@@ -176,12 +176,89 @@ fn read_persisted_exposes_the_durable_image() {
 }
 
 #[test]
-fn stats_toggle_disables_counting() {
+fn obs_off_disables_counting() {
     let mut cfg = PoolConfig::simple(256);
-    cfg.collect_stats = false;
+    cfg.obs = ObsLevel::Off;
     let p = Pool::new(cfg, Arc::new(CrashController::new()));
     p.write(0, 1);
     let _ = p.read(0);
     let s = p.stats().snapshot();
-    assert_eq!(s.reads + s.writes, 0, "collect_stats=false must not count");
+    assert_eq!(s.reads + s.writes, 0, "ObsLevel::Off must not count");
+}
+
+/// Satellite coverage: deltas aggregated across pools equal the sum of the
+/// per-pool deltas, per-op buckets sum to the pool totals, and an
+/// `ObsLevel::Off` pool contributes exactly zero to the aggregate.
+#[test]
+fn cross_pool_aggregation_sums_per_pool_deltas() {
+    let crash = Arc::new(CrashController::new());
+    let mut off_cfg = PoolConfig::simple(256);
+    off_cfg.obs = ObsLevel::Off;
+    off_cfg.id = 2;
+    let pools = [
+        Pool::new(PoolConfig::simple(256), Arc::clone(&crash)),
+        Pool::new(
+            PoolConfig {
+                id: 1,
+                ..PoolConfig::simple(256)
+            },
+            Arc::clone(&crash),
+        ),
+        Pool::new(off_cfg, Arc::clone(&crash)),
+    ];
+    let before: Vec<StatsSnapshot> = pools.iter().map(|p| p.stats().snapshot()).collect();
+
+    {
+        let _t = op_tag(OpKind::Insert);
+        for (i, p) in pools.iter().enumerate() {
+            for w in 0..(i as u64 + 1) * 10 {
+                p.write(w % 256, w);
+            }
+            p.persist(0, 8);
+        }
+    }
+    {
+        let _t = op_tag(OpKind::Get);
+        for p in &pools {
+            for w in 0..7u64 {
+                let _ = p.read(w);
+            }
+        }
+    }
+
+    let per_pool: Vec<StatsSnapshot> = pools
+        .iter()
+        .zip(&before)
+        .map(|(p, b)| p.stats().snapshot().since(b))
+        .collect();
+    let aggregate: StatsSnapshot = per_pool.iter().copied().sum();
+
+    // The Off pool contributes nothing.
+    assert_eq!(per_pool[2], StatsSnapshot::default());
+    // The aggregate equals the two counting pools' work.
+    assert_eq!(aggregate.writes, 10 + 20);
+    assert_eq!(aggregate.reads, 7 + 7);
+    assert_eq!(aggregate.fences, 2);
+
+    // Per-op buckets partition the totals, and attribution went to the
+    // tagged kinds.
+    for p in &pools {
+        let by_op: StatsSnapshot = p.stats().snapshot_by_op().iter().copied().sum();
+        assert_eq!(by_op, p.stats().snapshot());
+    }
+    let get_reads: u64 = pools
+        .iter()
+        .map(|p| p.stats().snapshot_op(OpKind::Get).reads)
+        .sum();
+    let insert_writes: u64 = pools
+        .iter()
+        .map(|p| p.stats().snapshot_op(OpKind::Insert).writes)
+        .sum();
+    assert_eq!(get_reads, 14);
+    assert_eq!(insert_writes, 30);
+    assert_eq!(
+        pools[0].stats().snapshot_op(OpKind::Get).writes,
+        0,
+        "writes must not leak into the Get bucket"
+    );
 }

@@ -189,6 +189,23 @@ impl RivSpace {
         let (pool, off) = self.resolve(ptr);
         pool.persist(off, words);
     }
+
+    /// Pool counters summed across every pool in the space.
+    pub fn stats_snapshot(&self) -> pmem::StatsSnapshot {
+        self.pools.iter().map(|p| p.stats().snapshot()).sum()
+    }
+
+    /// Per-op-kind counters summed across every pool (indexed by
+    /// `OpKind as usize`).
+    pub fn stats_by_op(&self) -> [pmem::StatsSnapshot; pmem::stats::OP_KINDS] {
+        let mut total = [pmem::StatsSnapshot::default(); pmem::stats::OP_KINDS];
+        for p in &self.pools {
+            for (t, b) in total.iter_mut().zip(p.stats().snapshot_by_op()) {
+                *t = t.plus(&b);
+            }
+        }
+        total
+    }
 }
 
 #[cfg(test)]
