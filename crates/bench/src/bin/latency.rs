@@ -37,7 +37,10 @@ fn main() {
         for s in &structures {
             let d = Deployment::simple(records);
             let (name, index): (&'static str, Arc<dyn KvIndex>) = match s.as_str() {
-                "upskiplist" => ("upskiplist", build_upskiplist(&d, UpSkipListOpts::keys_per_node(256))),
+                "upskiplist" => (
+                    "upskiplist",
+                    build_upskiplist(&d, UpSkipListOpts::keys_per_node(256)),
+                ),
                 "bztree" => ("bztree", build_bztree(&d, desc_count)),
                 "pmdkskip" => ("pmdkskip", build_pmdkskip(&d)),
                 other => panic!("unknown structure {other}"),

@@ -163,7 +163,11 @@ fn main() {
         if let (Some(l), Some(base)) = (&t.upskiplist, base) {
             push_struct_rows(&mut report, sname, &l.struct_metrics().since(&base));
         }
-        eprintln!("{sname}: mixed {:.3} Mops, batched reads {:.3} Mops", mixed_r.mops(), batched_r.mops());
+        eprintln!(
+            "{sname}: mixed {:.3} Mops, batched reads {:.3} Mops",
+            mixed_r.mops(),
+            batched_r.mops()
+        );
     }
 
     print!("{}", report.to_csv());

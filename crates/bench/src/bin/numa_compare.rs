@@ -38,7 +38,8 @@ fn main() {
                     striped_nodes: striped,
                     ..Deployment::simple(records)
                 };
-                let index: Arc<dyn KvIndex> = build_upskiplist(&d, UpSkipListOpts::keys_per_node(256));
+                let index: Arc<dyn KvIndex> =
+                    build_upskiplist(&d, UpSkipListOpts::keys_per_node(256));
                 bench::load(&index, &w, (*t).max(4), nodes);
                 let _ = bench::run(&index, &w, nodes, false, "warmup");
                 // Median of three timed runs: single runs are noisy on

@@ -13,7 +13,9 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use bench::{build_bztree, build_pmdkskip, build_upskiplist, Args, Deployment, KvIndex, UpSkipListOpts};
+use bench::{
+    build_bztree, build_pmdkskip, build_upskiplist, Args, Deployment, KvIndex, UpSkipListOpts,
+};
 use pmem::run_crashable;
 
 fn run_inserts_until_crash(

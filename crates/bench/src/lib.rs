@@ -17,6 +17,7 @@ pub mod args;
 pub mod driver;
 pub mod index;
 pub mod metrics;
+pub mod sweep;
 
 pub use args::{default_thread_sweep, Args};
 pub use driver::{load, percentile, run, run_batched, run_metrics, RunResult};

@@ -81,7 +81,10 @@ fn update_flushes_exactly_the_value_line() {
         [val_line, hdr_line].into_iter().collect::<BTreeSet<_>>(),
         "an update dirties only the value slot and the lock word"
     );
-    assert_eq!(rec.unflushed(), rec.written.difference(&rec.flushed).copied().collect());
+    assert_eq!(
+        rec.unflushed(),
+        rec.written.difference(&rec.flushed).copied().collect()
+    );
     assert!(rec.unflushed().iter().all(|ln| *ln == hdr_line));
     assert_eq!(rec.fences, 1, "one Persist linearizes the update");
 }
@@ -166,7 +169,11 @@ fn split_leaves_nothing_but_lock_words_unflushed() {
     );
     // Lock persist, block persist, link persist, split-count persist,
     // old-node persist — the split path fences generously.
-    assert!(rec.fences >= 4, "expected the split's persist chain, got {}", rec.fences);
+    assert!(
+        rec.fences >= 4,
+        "expected the split's persist chain, got {}",
+        rec.fences
+    );
     for k in 1..=5u64 {
         assert_eq!(l.get(k), Some(k * if k == 5 { 10 } else { 1 }));
     }

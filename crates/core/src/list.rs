@@ -90,7 +90,11 @@ impl ListBuilder {
     /// Migration shim for the pre-`ObsLevel` API.
     #[deprecated(note = "set `obs` to ObsLevel::Counters / ObsLevel::Off instead")]
     pub fn collect_stats(mut self, on: bool) -> Self {
-        self.obs = if on { ObsLevel::Counters } else { ObsLevel::Off };
+        self.obs = if on {
+            ObsLevel::Counters
+        } else {
+            ObsLevel::Off
+        };
         self
     }
 

@@ -1,0 +1,109 @@
+//! Crash-during-recovery idempotence for UPSkipList (E12).
+//!
+//! `recover()` + `recover_eagerly()` walk and repair the whole structure;
+//! a second power failure mid-walk (with adversarial line residue) must
+//! leave the list recoverable by simply running recovery again — the
+//! thesis's in-place recovery argument (§4.1.5) says recovery performs only
+//! idempotent repairs, so an interrupted pass never needs its own undo.
+
+use std::sync::Arc;
+
+use pmem::{run_crashable, CrashPlan, ObsLevel, PersistenceMode};
+use upskiplist::{ListBuilder, ListConfig, UpSkipList};
+
+fn build() -> Arc<UpSkipList> {
+    ListBuilder {
+        list: ListConfig::new(10, 8),
+        pool_words: 1 << 17,
+        mode: PersistenceMode::Tracked,
+        num_arenas: 2,
+        blocks_per_chunk: 32,
+        obs: ObsLevel::Counters,
+        ..Default::default()
+    }
+    .create()
+}
+
+#[test]
+fn interrupted_eager_recovery_retries_cleanly() {
+    pmem::crash::silence_crash_panics();
+    let plans = [
+        CrashPlan::DropAll,
+        CrashPlan::KeepAll,
+        CrashPlan::KeepUnfencedOnly,
+        CrashPlan::Seeded(41),
+        CrashPlan::Seeded(42),
+    ];
+    for &plan in &plans {
+        for crash_after in [60u64, 240, 700, 1500] {
+            let list = build();
+            let ctl = Arc::clone(list.space().pools()[0].crash_controller());
+            let crash_pools = |l: &Arc<UpSkipList>| {
+                for p in l.space().pools() {
+                    p.simulate_crash_with(plan);
+                }
+                pmem::discard_pending();
+            };
+
+            // Acked prefix, then a crash somewhere inside a burst of
+            // updates and removes.
+            for k in 1..=24u64 {
+                list.insert(k, k * 10);
+            }
+            ctl.arm_after(crash_after);
+            let r = run_crashable(|| {
+                for k in 1..=24u64 {
+                    if k % 3 == 0 {
+                        list.remove(k);
+                    } else {
+                        list.insert(k, k * 100);
+                    }
+                }
+            });
+            ctl.disarm();
+            let burst_done = r.is_ok();
+            crash_pools(&list);
+
+            // Crash the recovery pass itself at increasing depths.
+            for nested in [5u64, 40, 300] {
+                ctl.arm_after(nested);
+                let rr = run_crashable(|| {
+                    list.recover();
+                    list.recover_eagerly();
+                });
+                ctl.disarm();
+                if rr.is_err() {
+                    crash_pools(&list);
+                }
+            }
+
+            list.recover();
+            list.recover_eagerly();
+            list.check_invariants();
+
+            // Durability of the acked prefix: every key holds one of the
+            // values some prefix of the (sequential) burst would leave.
+            for k in 1..=24u64 {
+                let got = list.get(k);
+                let pre = Some(k * 10);
+                let post = if k % 3 == 0 { None } else { Some(k * 100) };
+                if burst_done {
+                    assert_eq!(got, post, "{plan}: key {k} after completed burst");
+                } else {
+                    assert!(
+                        got == pre || got == post,
+                        "{plan}: crash@{crash_after}: key {k} holds {got:?}"
+                    );
+                }
+            }
+
+            // Idempotence: recovering the recovered list changes nothing.
+            let snapshot: Vec<_> = (1..=24u64).map(|k| list.get(k)).collect();
+            list.recover();
+            list.recover_eagerly();
+            list.check_invariants();
+            let again: Vec<_> = (1..=24u64).map(|k| list.get(k)).collect();
+            assert_eq!(snapshot, again, "{plan}: recovery not idempotent");
+        }
+    }
+}

@@ -10,10 +10,12 @@
 pub mod checker;
 pub mod history;
 pub mod recorder;
+pub mod sweep;
 
 pub use checker::{check, CheckResult, Violation};
 pub use history::{History, OpKind, OpRecord, EMPTY, PENDING};
 pub use recorder::{merge, ThreadLog, Ticket};
+pub use sweep::{minimize_crash_point, ReproTuple};
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,115 @@
+//! Repro tuples and failure minimization for crash-residue sweeps.
+//!
+//! A crash sweep walks a grid of `(crash_after, seed, policy)` states:
+//! crash the machine after `crash_after` pmem operations, apply the residue
+//! policy, recover, and verify. When a state fails, the tuple alone
+//! reproduces it — the workload, residue, and any nested crash point are
+//! all derived deterministically from the tuple. This module holds the
+//! structure-agnostic pieces (the tuple and a bisecting minimizer); the
+//! pmem-specific drivers live in `bench::sweep` so this crate stays
+//! dependency-free.
+
+use std::fmt;
+
+/// The one-line reproduction record printed when a sweep state fails.
+/// `policy` is any displayable residue-policy descriptor (the sweep uses
+/// `pmem::CrashPlan`; tests here use plain strings).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReproTuple<P> {
+    /// Pmem operations completed before the power failure.
+    pub crash_after: u64,
+    /// Workload seed (drives the op mix and any nested crash point).
+    pub seed: u64,
+    /// Residue policy applied to dirty lines at the crash.
+    pub policy: P,
+}
+
+impl<P: fmt::Display> fmt::Display for ReproTuple<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "(crash_after={}, seed={}, policy={})",
+            self.crash_after, self.seed, self.policy
+        )
+    }
+}
+
+/// Shrink a failing crash point by bisection: given that the state fails at
+/// `failing`, find a (locally) minimal crash point that still fails, using
+/// O(log n) re-runs instead of a linear walk down.
+///
+/// Crash-point failures need not be monotone — a *later* crash can persist
+/// the repair an earlier crash point misses — so the result is a greedy
+/// local minimum: whenever the midpoint fails we jump down to it, otherwise
+/// we raise the floor. The returned point always fails (`fails(result)` was
+/// observed true), and no point below it was both probed and failing.
+pub fn minimize_crash_point(mut fails: impl FnMut(u64) -> bool, failing: u64) -> u64 {
+    if failing > 0 && fails(0) {
+        return 0;
+    }
+    let mut best = failing;
+    let mut lo = 0u64; // exclusive floor: every probe at or below `lo` passed
+    while lo + 1 < best {
+        let mid = lo + (best - lo) / 2;
+        if fails(mid) {
+            best = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repro_tuple_prints_one_line() {
+        let t = ReproTuple {
+            crash_after: 1234,
+            seed: 42,
+            policy: "seeded:7",
+        };
+        assert_eq!(
+            t.to_string(),
+            "(crash_after=1234, seed=42, policy=seeded:7)"
+        );
+    }
+
+    #[test]
+    fn minimizer_finds_threshold_of_monotone_predicate() {
+        // Everything at or above 37 fails: bisection must land exactly there.
+        let mut probes = 0;
+        let min = minimize_crash_point(
+            |k| {
+                probes += 1;
+                k >= 37
+            },
+            1_000_000,
+        );
+        assert_eq!(min, 37);
+        assert!(
+            probes <= 64,
+            "bisection, not a linear walk ({probes} probes)"
+        );
+    }
+
+    #[test]
+    fn minimizer_result_always_fails() {
+        // Non-monotone failure set: odd points fail. The minimizer must
+        // return *some* failing point, never a passing one.
+        let failing_start = 999; // odd, fails
+        let min = minimize_crash_point(|k| k % 2 == 1, failing_start);
+        assert_eq!(min % 2, 1);
+        assert!(min <= failing_start);
+    }
+
+    #[test]
+    fn minimizer_handles_smallest_points() {
+        assert_eq!(minimize_crash_point(|_| true, 1), 0);
+        assert_eq!(minimize_crash_point(|_| true, 0), 0);
+        // Fails only at the starting point: floor rises, best stays.
+        assert_eq!(minimize_crash_point(|k| k == 10, 10), 10);
+    }
+}

@@ -488,8 +488,7 @@ mod tests {
 
     #[test]
     fn op_kind_names_are_distinct() {
-        let names: std::collections::BTreeSet<_> =
-            OpKind::ALL.iter().map(|k| k.name()).collect();
+        let names: std::collections::BTreeSet<_> = OpKind::ALL.iter().map(|k| k.name()).collect();
         assert_eq!(names.len(), OpKind::ALL.len());
         assert_eq!(OpKind::Get as usize, 0);
         assert_eq!(OpKind::Other as usize, OpKind::ALL.len() - 1);

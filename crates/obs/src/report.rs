@@ -137,7 +137,11 @@ impl MetricsReport {
                 }
                 out.push_str(if oi + 1 == n_ops { "}\n" } else { "},\n" });
             }
-            out.push_str(if si + 1 == n_structs { "    }\n" } else { "    },\n" });
+            out.push_str(if si + 1 == n_structs {
+                "    }\n"
+            } else {
+                "    },\n"
+            });
         }
         out.push_str("  }\n}\n");
         out

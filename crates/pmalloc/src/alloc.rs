@@ -90,7 +90,10 @@ impl Allocator {
     /// first. DRAM-only diagnostics (reset on restart).
     pub fn alloc_path_hits(&self) -> (u64, u64) {
         use std::sync::atomic::Ordering::Relaxed;
-        (self.fast_allocs.load(Relaxed), self.slow_allocs.load(Relaxed))
+        (
+            self.fast_allocs.load(Relaxed),
+            self.slow_allocs.load(Relaxed),
+        )
     }
 
     #[inline]
@@ -267,6 +270,21 @@ impl Allocator {
                 pred,
                 key,
             } => {
+                // The slot's cache line can be persisted by a crash *mid
+                // overwrite* (only the kind word is ordered last), so the
+                // decoded fields may mix two entries — e.g. an old ALLOC
+                // kind over a new provision's tiny integers. A torn entry
+                // is safe to skip outright: the fence publishing it never
+                // completed, so the operation it describes never touched
+                // shared state, and the slot's *previous* entry was proven
+                // complete (same epoch) or validated before the overwrite
+                // began. Pointers that don't resolve are exactly that case.
+                if !self.space.ptr_resolves(block, BLK_HEADER_WORDS) {
+                    return;
+                }
+                if !pred.is_null() && !self.space.ptr_resolves(pred, BLK_HEADER_WORDS) {
+                    return;
+                }
                 // A block popped again after the crash carries the *new*
                 // failure-free epoch (written at pop, persisted with its
                 // kind in the same line): it belongs to another thread's
@@ -314,6 +332,22 @@ impl Allocator {
             LogEntry::Provision {
                 pool_id, chunk_id, ..
             } => {
+                // Same torn-line discipline as above: ids outside the
+                // machine's shape come from a half-overwritten slot (a
+                // block pointer's raw bits read back as `pool_id`), and
+                // the provisioning they pretend to describe never started.
+                if pool_id as usize >= self.space.pools().len()
+                    || chunk_id == 0
+                    || chunk_id >= self.cfg.max_chunks
+                {
+                    return;
+                }
+                // An in-range id still isn't trusted to fit: a chunk this
+                // pool was never grown to carve must not be carved now.
+                let end = self.layout.required_pool_words(&self.cfg, chunk_id as u64);
+                if end > self.space.pool(pool_id).len_words() {
+                    return;
+                }
                 self.recover_provision(epoch, pool_id, chunk_id);
             }
         }

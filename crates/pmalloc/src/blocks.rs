@@ -15,6 +15,11 @@ pub const BLK_NEXT_FREE: u64 = 2;
 /// First word available to the client.
 pub const BLK_CLIENT: u64 = 3;
 
+/// Words a pointer must span for the allocator header to be readable —
+/// the resolve probe recovery uses on pointers decoded from torn log
+/// slots ([`riv::RivSpace::ptr_resolves`]).
+pub const BLK_HEADER_WORDS: u32 = BLK_CLIENT as u32 + 1;
+
 /// Next-pointer sentinel written into a block the instant it is popped
 /// from a free list. It is non-zero so a `LinkInTail` push racing with the
 /// pop (or finding a crash-stale tail pointing at a popped block) fails its

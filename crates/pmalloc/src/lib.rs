@@ -18,7 +18,8 @@ pub mod log;
 
 pub use alloc::{Allocator, NoNav, Reachability};
 pub use blocks::{
-    BLK_CLIENT, BLK_EPOCH, BLK_KIND, BLK_NEXT_FREE, KIND_FREE, KIND_NODE, KIND_RAW, NEXT_POPPED,
+    BLK_CLIENT, BLK_EPOCH, BLK_HEADER_WORDS, BLK_KIND, BLK_NEXT_FREE, KIND_FREE, KIND_NODE,
+    KIND_RAW, NEXT_POPPED,
 };
 pub use layout::{AllocConfig, PoolLayout};
 pub use log::{read_log, write_log, LogEntry};

@@ -7,23 +7,108 @@
 //! [`Crashed`] payload. Worker threads run their operation loops under
 //! [`run_crashable`], which converts the panic back into a value, emulating
 //! all threads dying at once in a power failure (thesis §6.1.2).
+//!
+//! What the power failure leaves behind in PMEM is decided by a
+//! [`CrashPlan`]: see [`Pool::simulate_crash_with`](crate::Pool::simulate_crash_with).
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::atomic::{AtomicI64, Ordering};
 
 /// Panic payload used to unwind a thread when the simulated machine loses
 /// power. Carried through `std::panic::panic_any`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Crashed;
 
-/// Shared crash state for one simulated machine.
+/// What a simulated power failure does to each *dirty* cache line — a line
+/// whose volatile contents differ from the persisted image. The thesis's
+/// correctness argument (§6.1.2) is that any acknowledged operation survives
+/// a crash in which each dirty line independently may or may not have
+/// reached PMEM; these plans pick the residue.
 ///
-/// `armed` holds the remaining number of pmem operations before the crash
-/// trips, or a negative value when disarmed. `crashed` latches once tripped.
+/// Lines are classified at crash time:
+/// * **unfenced** — flushed (CLWB issued) by some thread but not yet
+///   committed by that thread's SFENCE. The hardware may have written the
+///   line back at any point after the flush.
+/// * **unflushed** — written but never flushed. The hardware may *still*
+///   have written it back (caches evict for their own reasons), which is
+///   exactly why recovery must tolerate `KeepAll`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPlan {
+    /// Drop every dirty line: revert exactly to the fenced image. This is
+    /// the legacy `simulate_crash` behaviour and the *most forgetful*
+    /// adversary.
+    DropAll,
+    /// Keep every dirty line, as if the cache wrote everything back in the
+    /// instant before power was lost — the *least forgetful* adversary.
+    KeepAll,
+    /// Keep exactly the flushed-but-unfenced lines and drop the
+    /// dirty-but-unflushed ones: the "SFENCE never retired but every CLWB
+    /// landed" adversary, which punishes code that treats a flush as
+    /// durable before its fence.
+    KeepUnfencedOnly,
+    /// Keep each dirty line independently with probability 1/2, decided by
+    /// a deterministic hash of `(seed, pool id, line, class)` — same seed,
+    /// same residue. The `class` bit means unfenced and unflushed lines
+    /// draw different coins, so one seed explores both frontiers.
+    Seeded(u64),
+}
+
+impl CrashPlan {
+    /// Whether a dirty line survives the crash under this plan.
+    /// `unfenced` is true when the line was flushed but not yet fenced.
+    #[inline]
+    pub fn keeps(&self, unfenced: bool, pool_id: u16, line: u64) -> bool {
+        match *self {
+            CrashPlan::DropAll => false,
+            CrashPlan::KeepAll => true,
+            CrashPlan::KeepUnfencedOnly => unfenced,
+            CrashPlan::Seeded(seed) => {
+                let x = seed
+                    ^ (pool_id as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                    ^ line.wrapping_mul(0xbf58_476d_1ce4_e5b9)
+                    ^ ((unfenced as u64) << 63);
+                splitmix64(x) & 1 == 0
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for CrashPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CrashPlan::DropAll => write!(f, "drop-all"),
+            CrashPlan::KeepAll => write!(f, "keep-all"),
+            CrashPlan::KeepUnfencedOnly => write!(f, "keep-unfenced-only"),
+            CrashPlan::Seeded(s) => write!(f, "seeded:{s}"),
+        }
+    }
+}
+
+/// SplitMix64 finalizer — a well-mixed 64-bit permutation, so per-line coin
+/// flips are independent even for adjacent lines.
+#[inline]
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Controller state is one word, so every transition (arming, tripping,
+/// disarming) is a single atomic store and `check` can never observe a
+/// half-updated controller:
+///
+/// * `DISARMED` — no crash scheduled.
+/// * `CRASHED` — the machine has lost power; every check panics.
+/// * `n >= 0` — armed: `n` more pmem operations complete, then the next
+///   one trips the crash.
+const DISARMED: i64 = i64::MIN;
+const CRASHED: i64 = i64::MIN + 1;
+
+/// Shared crash state for one simulated machine.
 #[derive(Debug)]
 pub struct CrashController {
-    armed: AtomicI64,
-    crashed: AtomicBool,
+    state: AtomicI64,
 }
 
 impl Default for CrashController {
@@ -36,61 +121,100 @@ impl CrashController {
     /// A controller with no crash scheduled.
     pub fn new() -> Self {
         Self {
-            armed: AtomicI64::new(i64::MIN),
-            crashed: AtomicBool::new(false),
+            state: AtomicI64::new(DISARMED),
         }
     }
 
-    /// Schedule a crash to trip after `ops` further pmem operations
-    /// (machine-wide, all threads).
+    /// Schedule a crash: exactly `ops` further pmem operations
+    /// (machine-wide, across all threads) complete, then the next one
+    /// trips. A single atomic store, so a concurrent `check` sees either
+    /// the old state or the fully-armed one — never a torn intermediate.
     pub fn arm_after(&self, ops: u64) {
-        self.crashed.store(false, Ordering::SeqCst);
-        self.armed.store(ops as i64, Ordering::SeqCst);
+        debug_assert!(ops <= i64::MAX as u64);
+        self.state.store(ops as i64, Ordering::SeqCst);
     }
 
     /// Trip the crash immediately.
     pub fn trip(&self) {
-        self.crashed.store(true, Ordering::SeqCst);
+        self.state.store(CRASHED, Ordering::SeqCst);
     }
 
     /// Cancel any scheduled crash and clear the crashed latch. Called by the
     /// recovery path after the post-crash state has been captured.
     pub fn disarm(&self) {
-        self.armed.store(i64::MIN, Ordering::SeqCst);
-        self.crashed.store(false, Ordering::SeqCst);
+        self.state.store(DISARMED, Ordering::SeqCst);
     }
 
     /// Whether the machine has lost power.
     #[inline]
     pub fn is_crashed(&self) -> bool {
-        self.crashed.load(Ordering::Relaxed)
+        self.state.load(Ordering::Relaxed) == CRASHED
+    }
+
+    /// Remaining operation budget if armed (diagnostic — lets a harness
+    /// measure how many pmem operations a workload performs by arming far
+    /// beyond it and reading what is left).
+    pub fn armed_remaining(&self) -> Option<u64> {
+        match self.state.load(Ordering::SeqCst) {
+            n if n >= 0 => Some(n as u64),
+            _ => None,
+        }
     }
 
     /// Called by every pmem operation. Decrements the armed countdown and
     /// panics with [`Crashed`] once the machine has lost power.
     #[inline]
     pub fn check(&self) {
-        if self.crashed.load(Ordering::Relaxed) {
-            std::panic::panic_any(Crashed);
+        let cur = self.state.load(Ordering::Relaxed);
+        if cur == DISARMED {
+            return; // fast path: one relaxed load
         }
-        // Fast path: disarmed controllers stay hugely negative, so the
-        // decrement below can never wrap them up to zero in practice.
-        if self.armed.load(Ordering::Relaxed) >= 0
-            && self.armed.fetch_sub(1, Ordering::Relaxed) == 0
-        {
-            self.crashed.store(true, Ordering::SeqCst);
-            std::panic::panic_any(Crashed);
+        self.check_slow(cur);
+    }
+
+    #[cold]
+    fn check_slow(&self, mut cur: i64) {
+        loop {
+            match cur {
+                DISARMED => return,
+                CRASHED => std::panic::panic_any(Crashed),
+                _ => {
+                    let next = if cur == 0 { CRASHED } else { cur - 1 };
+                    match self.state.compare_exchange_weak(
+                        cur,
+                        next,
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    ) {
+                        Ok(_) => {
+                            if cur == 0 {
+                                std::panic::panic_any(Crashed);
+                            }
+                            return;
+                        }
+                        Err(now) => cur = now,
+                    }
+                }
+            }
         }
     }
 }
 
 /// Run `f`, converting a [`Crashed`] panic into `Err(Crashed)`. Any other
 /// panic is resumed unchanged.
+///
+/// On `Err(Crashed)` the thread's pending (flushed-but-unfenced) lines are
+/// automatically handed off to the machine-wide unfenced registry kept by
+/// each pool: the dead thread will never issue its SFENCE, but the CLWBs it
+/// issued may still land, so the lines stay enumerable as *unfenced residue*
+/// for [`Pool::simulate_crash_with`](crate::Pool::simulate_crash_with).
+/// Callers no longer need to remember `discard_pending()` after a crash.
 pub fn run_crashable<T>(f: impl FnOnce() -> T) -> Result<T, Crashed> {
     match catch_unwind(AssertUnwindSafe(f)) {
         Ok(v) => Ok(v),
         Err(payload) => {
             if payload.downcast_ref::<Crashed>().is_some() {
+                crate::pool::crash_handoff_pending();
                 Err(Crashed)
             } else {
                 std::panic::resume_unwind(payload)
@@ -118,6 +242,8 @@ pub fn silence_crash_panics() {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
 
     #[test]
     fn disarmed_controller_never_trips() {
@@ -163,5 +289,67 @@ mod tests {
             let _ = run_crashable(|| panic!("regular bug"));
         });
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn armed_remaining_reports_budget() {
+        let c = CrashController::new();
+        assert_eq!(c.armed_remaining(), None);
+        c.arm_after(10);
+        c.check();
+        c.check();
+        assert_eq!(c.armed_remaining(), Some(8));
+        c.trip();
+        assert_eq!(c.armed_remaining(), None);
+    }
+
+    #[test]
+    fn rearming_a_crashed_controller_is_one_transition() {
+        silence_crash_panics();
+        let c = CrashController::new();
+        c.trip();
+        // Re-arming from the crashed state must atomically clear the latch
+        // AND set the budget: exactly 3 checks complete, the 4th trips.
+        c.arm_after(3);
+        for _ in 0..3 {
+            c.check();
+        }
+        assert!(!c.is_crashed());
+        assert_eq!(run_crashable(|| c.check()), Err(Crashed));
+    }
+
+    /// Stress the single-transition arming: hammer `check` from many
+    /// threads while the main thread repeatedly re-arms straight out of the
+    /// crashed state. With the old two-store arming (`crashed=false`, then
+    /// `armed=n`) a checker between the stores could either crash against a
+    /// freshly-cleared latch (losing a budgeted op) or sneak a free op
+    /// through; with one state word, exactly `n` checks complete per round.
+    #[test]
+    fn concurrent_checks_consume_exactly_the_armed_budget() {
+        silence_crash_panics();
+        let c = Arc::new(CrashController::new());
+        for round in 0u64..50 {
+            let budget = 500 + round * 37;
+            let completed = AtomicU64::new(0);
+            c.arm_after(budget);
+            std::thread::scope(|s| {
+                for _ in 0..8 {
+                    s.spawn(|| {
+                        let r = run_crashable(|| loop {
+                            c.check();
+                            completed.fetch_add(1, Ordering::Relaxed);
+                        });
+                        assert_eq!(r, Err(Crashed));
+                    });
+                }
+            });
+            assert!(c.is_crashed());
+            assert_eq!(
+                completed.load(Ordering::Relaxed),
+                budget,
+                "round {round}: exactly the armed budget must complete"
+            );
+            c.disarm();
+        }
     }
 }

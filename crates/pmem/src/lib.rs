@@ -18,8 +18,14 @@
 //!   optional *random eviction* mode spontaneously writes a line back, as real
 //!   caches may.
 //!
-//! A simulated crash ([`Pool::simulate_crash`]) discards the volatile image
-//! and reloads it from the persisted image. Crash *injection*
+//! A simulated crash ([`Pool::simulate_crash_with`]) decides the fate of
+//! every *dirty* line independently according to a [`CrashPlan`]: lines
+//! flushed but not yet fenced (tracked machine-wide, across threads, even
+//! dead ones) and lines merely written may each be kept or dropped —
+//! seeded-randomly or by a deterministic worst-case policy — before the
+//! volatile image restarts from the persisted image.
+//! [`Pool::simulate_crash`] is the legacy all-or-nothing shorthand for
+//! [`CrashPlan::DropAll`]. Crash *injection*
 //! ([`CrashController::arm_after`]) makes every thread panic with a
 //! [`Crashed`] payload at its next pmem access once a countdown of pmem
 //! operations elapses, emulating a power failure striking mid-operation.
@@ -39,7 +45,7 @@ pub mod stats;
 pub mod thread;
 pub mod topology;
 
-pub use crash::{run_crashable, CrashController, Crashed};
+pub use crash::{run_crashable, CrashController, CrashPlan, Crashed};
 pub use latency::LatencyModel;
 pub use obs::{ObsLevel, OpKind};
 pub use pool::{discard_pending, sfence, PersistenceMode, Pool, POOL_MAGIC};

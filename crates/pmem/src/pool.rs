@@ -7,13 +7,14 @@
 //! programming model imposes (thesis §4.3.1).
 
 use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use obs::ObsLevel;
 
 use crate::audit;
-use crate::crash::CrashController;
+use crate::crash::{CrashController, CrashPlan};
 use crate::latency::LatencyModel;
 use crate::stats::{Field, Stats};
 use crate::thread;
@@ -95,11 +96,28 @@ pub struct Pool {
     /// path pays a single never-taken branch when both are off.
     accounting: bool,
     stats: Stats,
+    /// Machine-wide registry of flushed-but-unfenced lines (`Tracked` mode
+    /// only): line → number of threads with that line on their pending
+    /// list. A thread's flush registers the line; its fence (or an explicit
+    /// [`discard_pending`]) releases it; a thread that dies in a simulated
+    /// power failure does *not* release — its CLWBs may still land — so
+    /// [`Pool::simulate_crash_with`] can enumerate every thread's unfenced
+    /// lines, not just the calling thread's.
+    unfenced: Mutex<HashMap<u64, u32>>,
+}
+
+/// The current thread's CLWB-ed lines awaiting its next SFENCE. `list`
+/// preserves flush order for the fence; `seen` (keyed by pool address +
+/// line) makes the per-flush duplicate check O(1) instead of a linear scan.
+#[derive(Default)]
+struct PendingSet {
+    list: Vec<(Arc<Pool>, u64)>,
+    seen: HashSet<(usize, u64)>,
 }
 
 thread_local! {
     /// CLWB-ed lines awaiting an SFENCE by this thread.
-    static PENDING: RefCell<Vec<(Arc<Pool>, u64)>> = const { RefCell::new(Vec::new()) };
+    static PENDING: RefCell<PendingSet> = RefCell::new(PendingSet::default());
     /// Cheap per-thread RNG for the random-eviction mode.
     static EVICT_RNG: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
 }
@@ -140,6 +158,7 @@ impl Pool {
             counters: cfg.obs.counters_enabled(),
             accounting: cfg.obs.counters_enabled() || latency_enabled,
             stats: Stats::default(),
+            unfenced: Mutex::new(HashMap::new()),
         })
     }
 
@@ -326,21 +345,41 @@ impl Pool {
     fn flush_line(self: &Arc<Self>, line: u64) {
         self.crash.check();
         if self.accounting {
-            self.account_word(Field::Flushes, self.latency.flush_spins, line * CACHE_LINE_WORDS);
+            self.account_word(
+                Field::Flushes,
+                self.latency.flush_spins,
+                line * CACHE_LINE_WORDS,
+            );
             if audit::armed() {
                 audit::note_flush(self.id as u32, line);
             }
         }
         if self.persisted.is_some() {
+            let key = (Arc::as_ptr(self) as usize, line);
             PENDING.with(|p| {
                 let mut pending = p.borrow_mut();
-                let duplicate = pending
-                    .iter()
-                    .any(|(pool, l)| *l == line && Arc::ptr_eq(pool, self));
-                if !duplicate {
-                    pending.push((Arc::clone(self), line));
+                if pending.seen.insert(key) {
+                    pending.list.push((Arc::clone(self), line));
+                    // First flush of this line by this thread since its last
+                    // fence: register it machine-wide so a crash can see it
+                    // even after this thread is dead.
+                    *self.unfenced.lock().unwrap().entry(line).or_insert(0) += 1;
                 }
             });
+        }
+    }
+
+    /// Release one thread's claim on `line` in the unfenced registry
+    /// (its fence committed the line, or it explicitly discarded the
+    /// flush). Saturating: entries consumed by a crash in between are
+    /// simply gone.
+    fn registry_release(&self, line: u64) {
+        let mut reg = self.unfenced.lock().unwrap();
+        if let Some(n) = reg.get_mut(&line) {
+            *n -= 1;
+            if *n == 0 {
+                reg.remove(&line);
+            }
         }
     }
 
@@ -416,20 +455,60 @@ impl Pool {
         }
     }
 
-    /// Simulate a power failure: the volatile image is lost and the pool
-    /// restarts from the persisted image. The caller must have quiesced all
-    /// worker threads (they are "dead" after the crash).
+    /// Simulate a power failure with the legacy all-or-nothing residue:
+    /// every dirty line is dropped and the pool restarts from the fenced
+    /// image. Equivalent to `simulate_crash_with(CrashPlan::DropAll)`.
     ///
     /// # Panics
     /// Panics if the pool is not in `Tracked` mode.
     pub fn simulate_crash(&self) {
+        self.simulate_crash_with(CrashPlan::DropAll);
+    }
+
+    /// Simulate a power failure with an adversarial residue: every dirty
+    /// cache line (volatile ≠ persisted) is independently kept (written
+    /// back in the instant power died) or dropped, as decided by `plan`.
+    /// Lines registered in the machine-wide unfenced registry — flushed by
+    /// *some* thread, alive or dead, without a fence — are classified
+    /// `unfenced`; all other dirty lines are `unflushed` (see
+    /// [`CrashPlan`]). The volatile image then restarts from the resulting
+    /// persisted image and the registry is cleared (the machine rebooted).
+    ///
+    /// The caller must have quiesced all worker threads (they are "dead"
+    /// after the crash); threads that unwound through
+    /// [`run_crashable`](crate::run_crashable) have already handed their
+    /// pending flushes off to the registry.
+    ///
+    /// # Panics
+    /// Panics if the pool is not in `Tracked` mode.
+    pub fn simulate_crash_with(&self, plan: CrashPlan) {
         let persisted = self
             .persisted
             .as_ref()
-            .expect("simulate_crash requires PersistenceMode::Tracked");
+            .expect("simulate_crash_with requires PersistenceMode::Tracked");
+        let unfenced: HashSet<u64> = std::mem::take(&mut *self.unfenced.lock().unwrap())
+            .into_keys()
+            .collect();
+        let lines = (self.volatile.len() as u64).div_ceil(CACHE_LINE_WORDS);
+        for line in 0..lines {
+            let base = (line * CACHE_LINE_WORDS) as usize;
+            let end = (base + CACHE_LINE_WORDS as usize).min(self.volatile.len());
+            let dirty = (base..end).any(|w| {
+                self.volatile[w].load(Ordering::Acquire) != persisted[w].load(Ordering::Acquire)
+            });
+            if dirty && plan.keeps(unfenced.contains(&line), self.id, line) {
+                self.persist_line_now(line);
+            }
+        }
         for w in 0..self.volatile.len() {
             self.volatile[w].store(persisted[w].load(Ordering::Acquire), Ordering::Release);
         }
+    }
+
+    /// Number of distinct lines currently registered machine-wide as
+    /// flushed-but-unfenced on this pool (diagnostic).
+    pub fn unfenced_lines(&self) -> usize {
+        self.unfenced.lock().unwrap().len()
     }
 
     /// Mark the entire volatile image persistent, as after a clean shutdown
@@ -452,32 +531,58 @@ impl Pool {
 }
 
 /// SFENCE: commit every line the current thread has flushed since its last
-/// fence to the persisted images of the respective pools.
+/// fence to the persisted images of the respective pools, and release the
+/// lines from the machine-wide unfenced registry.
 pub fn sfence() {
     PENDING.with(|p| {
         let mut pending = p.borrow_mut();
-        for (pool, line) in pending.drain(..) {
+        for (pool, line) in pending.list.drain(..) {
             pool.persist_line_now(line);
+            pool.registry_release(line);
         }
+        pending.seen.clear();
     });
 }
 
-/// Drop the current thread's un-fenced flushes (used when tearing down after
-/// a simulated crash: those write-backs never happened).
+/// Drop the current thread's un-fenced flushes, releasing them from the
+/// machine-wide unfenced registry as if they were never issued. Rarely
+/// needed: a thread that dies in a simulated crash under
+/// [`run_crashable`](crate::run_crashable) instead *hands its flushes off*
+/// to the registry automatically (the CLWBs were issued and may still
+/// land), after which this is a no-op for those lines.
 pub fn discard_pending() {
-    PENDING.with(|p| p.borrow_mut().clear());
+    PENDING.with(|p| {
+        let mut pending = p.borrow_mut();
+        for (pool, line) in pending.list.drain(..) {
+            pool.registry_release(line);
+        }
+        pending.seen.clear();
+    });
+}
+
+/// Forget the current thread's pending list *without* releasing the lines
+/// from the machine-wide unfenced registry: the thread died in a power
+/// failure, so its issued CLWBs remain crash residue for
+/// [`Pool::simulate_crash_with`] to keep or drop. Called by
+/// [`run_crashable`](crate::run_crashable) on `Err(Crashed)`.
+pub(crate) fn crash_handoff_pending() {
+    PENDING.with(|p| {
+        let mut pending = p.borrow_mut();
+        pending.list.clear();
+        pending.seen.clear();
+    });
 }
 
 /// Number of distinct cache lines the current thread has flushed since its
 /// last [`sfence`] (diagnostic; the flush path dedups at line granularity).
 pub fn pending_flushes() -> usize {
-    PENDING.with(|p| p.borrow().len())
+    PENDING.with(|p| p.borrow().list.len())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::crash::{run_crashable, silence_crash_panics, Crashed};
+    use crate::crash::{run_crashable, silence_crash_panics, CrashPlan, Crashed};
     use crate::stats::StatsSnapshot;
 
     #[test]
@@ -703,6 +808,171 @@ mod tests {
     fn out_of_bounds_access_panics() {
         let p = Pool::simple(8);
         p.read(8);
+    }
+
+    #[test]
+    fn keep_all_preserves_every_dirty_line() {
+        let p = Pool::tracked(64);
+        p.write(0, 7); // line 0: dirty, never flushed
+        p.write(8, 9); // line 1: flushed but not fenced
+        p.flush(8);
+        p.simulate_crash_with(CrashPlan::KeepAll);
+        discard_pending();
+        assert_eq!(p.read(0), 7, "KeepAll keeps unflushed dirty lines");
+        assert_eq!(p.read(8), 9, "KeepAll keeps unfenced flushed lines");
+    }
+
+    #[test]
+    fn keep_unfenced_only_separates_flush_classes() {
+        let p = Pool::tracked(64);
+        p.write(0, 7); // line 0: flushed, no fence yet
+        p.flush(0);
+        p.write(8, 9); // line 1: dirty, never flushed
+        assert_eq!(p.unfenced_lines(), 1);
+        p.simulate_crash_with(CrashPlan::KeepUnfencedOnly);
+        discard_pending();
+        assert_eq!(p.read(0), 7, "the issued CLWB may have landed");
+        assert_eq!(p.read(8), 0, "a never-flushed line must not survive");
+        assert_eq!(p.unfenced_lines(), 0, "reboot clears the registry");
+    }
+
+    #[test]
+    fn crash_residue_sees_dead_threads_unfenced_lines() {
+        // A worker flushes a line and exits without fencing: the flush must
+        // stay enumerable machine-wide, not die with the thread-local list.
+        let p = Pool::tracked(64);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                p.write(16, 5); // line 2
+                p.flush(16);
+            });
+        });
+        assert_eq!(pending_flushes(), 0, "main thread has nothing pending");
+        assert_eq!(p.unfenced_lines(), 1, "dead thread's flush is registered");
+        p.simulate_crash_with(CrashPlan::KeepUnfencedOnly);
+        assert_eq!(p.read(16), 5);
+    }
+
+    #[test]
+    fn run_crashable_hands_pending_flushes_to_registry() {
+        silence_crash_panics();
+        let p = Pool::tracked(64);
+        let r = run_crashable(|| {
+            p.write(0, 7);
+            p.flush(0);
+            p.crash_controller().trip();
+            p.read(0); // panics with Crashed
+        });
+        assert_eq!(r, Err(Crashed));
+        p.crash_controller().disarm();
+        // The thread-local list was cleared, but the flush survives in the
+        // machine-wide registry — no discard_pending() bookkeeping needed.
+        assert_eq!(pending_flushes(), 0);
+        assert_eq!(p.unfenced_lines(), 1);
+        p.simulate_crash_with(CrashPlan::KeepUnfencedOnly);
+        assert_eq!(p.read(0), 7);
+    }
+
+    #[test]
+    fn seeded_residue_is_deterministic_and_mixed() {
+        let build = |seed: u64| {
+            let p = Pool::tracked(1024);
+            for w in 0..1024u64 {
+                p.write(w, w + 1);
+            }
+            p.simulate_crash_with(CrashPlan::Seeded(seed));
+            (0..128u64)
+                .filter(|&l| p.read(l * CACHE_LINE_WORDS) != 0)
+                .collect::<Vec<_>>()
+        };
+        let a = build(42);
+        let b = build(42);
+        let c = build(43);
+        assert_eq!(a, b, "same seed, same residue");
+        assert!(
+            !a.is_empty() && a.len() < 128,
+            "a fair coin keeps some lines"
+        );
+        assert_ne!(a, c, "different seeds explore different residues");
+    }
+
+    #[test]
+    fn seeded_residue_draws_separate_coins_per_class() {
+        // The same line must be able to survive as unfenced while dying as
+        // unflushed (or vice versa): the class feeds the hash.
+        let survivors = |flush: bool| {
+            let p = Pool::tracked(1024);
+            for w in 0..1024u64 {
+                p.write(w, w + 1);
+            }
+            if flush {
+                for l in 0..128u64 {
+                    p.flush(l * CACHE_LINE_WORDS);
+                }
+            }
+            p.simulate_crash_with(CrashPlan::Seeded(7));
+            discard_pending();
+            (0..128u64)
+                .filter(|&l| p.read(l * CACHE_LINE_WORDS) != 0)
+                .collect::<Vec<_>>()
+        };
+        assert_ne!(survivors(false), survivors(true));
+    }
+
+    #[test]
+    fn pending_set_dedups_across_pools_and_keeps_accounting() {
+        // Satellite: the hashed pending set must dedup per (pool, line) —
+        // not just per line — while fence semantics and flush counting stay
+        // exactly as before.
+        let p1 = Pool::tracked(64);
+        let p2 = Pool::tracked(64);
+        p1.write(0, 1);
+        p2.write(0, 2);
+        p1.flush(0);
+        p2.flush(0); // same line number, different pool: both pending
+        assert_eq!(pending_flushes(), 2);
+        for _ in 0..50 {
+            p1.flush(0); // duplicates: counted, not re-queued
+        }
+        assert_eq!(pending_flushes(), 2);
+        assert_eq!(p1.stats().snapshot().flushes, 51, "every CLWB counted");
+        assert_eq!(p1.unfenced_lines(), 1);
+        assert_eq!(p2.unfenced_lines(), 1);
+        sfence();
+        assert_eq!(pending_flushes(), 0);
+        assert_eq!(p1.read_persisted(0), 1);
+        assert_eq!(p2.read_persisted(0), 2);
+        assert_eq!(p1.unfenced_lines(), 0, "fence releases the registry");
+        assert_eq!(p2.unfenced_lines(), 0);
+    }
+
+    #[test]
+    fn discard_pending_releases_registry_claims() {
+        let p = Pool::tracked(64);
+        p.write(0, 1);
+        p.flush(0);
+        assert_eq!(p.unfenced_lines(), 1);
+        discard_pending();
+        assert_eq!(p.unfenced_lines(), 0);
+        p.simulate_crash_with(CrashPlan::KeepUnfencedOnly);
+        assert_eq!(p.read(0), 0, "discarded flushes are not residue");
+    }
+
+    #[test]
+    fn two_threads_flushing_one_line_need_two_releases() {
+        let p = Pool::tracked(64);
+        p.write(0, 1);
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                s.spawn(|| {
+                    p.flush(0);
+                    // exit unfenced: implicit handoff
+                });
+            }
+        });
+        assert_eq!(p.unfenced_lines(), 1, "counted per line, not per thread");
+        p.simulate_crash_with(CrashPlan::KeepUnfencedOnly);
+        assert_eq!(p.read(0), 1);
     }
 
     #[test]

@@ -3,7 +3,9 @@
 use std::sync::Arc;
 
 use pmem::pool::PoolConfig;
-use pmem::{op_tag, run_crashable, CrashController, ObsLevel, OpKind, Placement, Pool, StatsSnapshot};
+use pmem::{
+    op_tag, run_crashable, CrashController, ObsLevel, OpKind, Placement, Pool, StatsSnapshot,
+};
 
 #[test]
 fn read_slice_matches_individual_reads() {

@@ -1,0 +1,94 @@
+//! Crash-during-recovery idempotence for the undo-log heap (E12).
+//!
+//! The undo log is rolled back on `recover()`; a second power failure can
+//! strike *during that rollback*, with adversarial residue keeping any
+//! subset of the dirty lines. Rollback must remain restartable: after any
+//! chain of interrupted recoveries, one clean pass restores pair
+//! atomicity, and recovery of a recovered heap changes nothing.
+
+use std::sync::Arc;
+
+use pmem::pool::PoolConfig;
+use pmem::{run_crashable, CrashController, CrashPlan, Pool};
+use pmemtx::TxHeap;
+
+fn build() -> (TxHeap, u64, Arc<Pool>) {
+    let words = TxHeap::overhead_words(8) + (1 << 12);
+    let pool = Pool::new(PoolConfig::tracked(words), Arc::new(CrashController::new()));
+    let heap = TxHeap::new(Arc::clone(&pool), 8);
+    heap.format();
+    let mut tx = heap.begin();
+    let obj = tx.alloc(2);
+    tx.set(obj, 5);
+    tx.set(obj + 1, 5);
+    tx.commit();
+    pool.mark_all_persisted();
+    (heap, obj, pool)
+}
+
+#[test]
+fn interrupted_rollback_retries_to_an_atomic_pair() {
+    pmem::crash::silence_crash_panics();
+    let plans = [
+        CrashPlan::DropAll,
+        CrashPlan::KeepAll,
+        CrashPlan::KeepUnfencedOnly,
+        CrashPlan::Seeded(31),
+        CrashPlan::Seeded(32),
+    ];
+    for &plan in &plans {
+        for crash_after in 1u64..80 {
+            let (heap, obj, pool) = build();
+            let ctl = Arc::clone(pool.crash_controller());
+
+            // Acked: (5,5) -> (6,6). Crash inside the (6,6) -> (7,7) tx.
+            let mut tx = heap.begin();
+            tx.set(obj, 6);
+            tx.set(obj + 1, 6);
+            tx.commit();
+            ctl.arm_after(crash_after);
+            let r = run_crashable(|| {
+                let mut tx = heap.begin();
+                tx.set(obj, 7);
+                tx.set(obj + 1, 7);
+                tx.commit();
+            });
+            ctl.disarm();
+            if r.is_ok() {
+                break;
+            }
+            pool.simulate_crash_with(plan);
+            pmem::discard_pending();
+
+            for nested in [1u64, 2, 5, 11] {
+                ctl.arm_after(nested);
+                let rr = run_crashable(|| {
+                    heap.recover();
+                });
+                ctl.disarm();
+                if rr.is_err() {
+                    pool.simulate_crash_with(plan);
+                    pmem::discard_pending();
+                }
+            }
+
+            heap.recover();
+            let got = (heap.read(obj), heap.read(obj + 1));
+            assert_eq!(
+                got.0, got.1,
+                "{plan}: crash@{crash_after}: torn pair {got:?}"
+            );
+            assert!(
+                got.0 == 6 || got.0 == 7,
+                "{plan}: crash@{crash_after}: pair {got:?} is neither acked nor in-flight"
+            );
+
+            heap.recover();
+            assert_eq!(
+                got,
+                (heap.read(obj), heap.read(obj + 1)),
+                "{plan}: recovery not idempotent"
+            );
+        }
+    }
+}

@@ -134,6 +134,39 @@ impl RivSpace {
         (self.pool(pool_id), base + ptr.offset() as u64)
     }
 
+    /// Non-panicking validity probe for a pointer decoded from
+    /// possibly-torn pmem — e.g. a recovery log slot whose cache line a
+    /// crash persisted mid-overwrite. Returns true iff `ptr` is non-null,
+    /// names an existing pool and a *registered* chunk, and the
+    /// `words`-word span starting at it stays inside the pool, making
+    /// `read(ptr.add(w))` safe for every `w < words`. A true result says
+    /// nothing about semantic validity; recovery code must still treat the
+    /// pointee's contents as untrusted.
+    pub fn ptr_resolves(&self, ptr: RivPtr, words: u32) -> bool {
+        if ptr.is_null() {
+            return false;
+        }
+        let pool_id = ptr.pool() as usize;
+        if pool_id >= self.pools.len() {
+            return false;
+        }
+        let chunk = ptr.chunk();
+        if chunk == 0 || chunk >= self.max_chunks {
+            return false;
+        }
+        let pool = &self.pools[pool_id];
+        // Consult the persistent table directly: the DRAM cache may be
+        // cold after a restart and must not be polluted with garbage ids.
+        let base_plus_one = pool.read(self.chunk_table_off + chunk as u64);
+        if base_plus_one == 0 {
+            return false;
+        }
+        let Some(end) = ptr.offset().checked_add(words) else {
+            return false;
+        };
+        base_plus_one - 1 + end as u64 <= pool.len_words()
+    }
+
     /// Drop the DRAM caches, as after a restart; they refill on demand.
     pub fn invalidate_caches(&self) {
         for cache in &self.caches {
@@ -225,6 +258,26 @@ mod tests {
             })
             .collect();
         RivSpace::new(pools, 64, 128)
+    }
+
+    #[test]
+    fn ptr_resolves_rejects_every_torn_decoding() {
+        let sp = two_pool_space();
+        sp.register_chunk(0, 1, 1024);
+        let ok = RivPtr::new(0, 1, 10);
+        assert!(sp.ptr_resolves(ok, 4));
+        // Null, bad pool, reserved chunk 0, chunk out of range, chunk in
+        // range but unregistered, span past the pool, offset overflow.
+        assert!(!sp.ptr_resolves(RivPtr::NULL, 4));
+        assert!(!sp.ptr_resolves(RivPtr::new(7, 1, 10), 4));
+        assert!(!sp.ptr_resolves(RivPtr::from_raw(1), 4)); // chunk 0 encoding
+        assert!(!sp.ptr_resolves(RivPtr::new(0, 200, 10), 4)); // >= max_chunks
+        assert!(!sp.ptr_resolves(RivPtr::new(0, 2, 10), 4));
+        assert!(!sp.ptr_resolves(RivPtr::new(0, 1, (1 << 14) as u32), 4));
+        assert!(!sp.ptr_resolves(RivPtr::new(0, 1, u32::MAX), 4));
+        // A true probe means reads through the span cannot panic.
+        sp.write(ok.add(3), 9);
+        assert_eq!(sp.read(ok.add(3)), 9);
     }
 
     #[test]
