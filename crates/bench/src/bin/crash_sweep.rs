@@ -11,6 +11,7 @@
 //! crash_sweep --points 24 --seeds 4 \
 //!             --residue-seeds 4 --ops 64   # deeper local run
 //! crash_sweep --structures upskiplist,pmwcas --no-nested
+//! crash_sweep --smoke --pmcheck          # + dynamic persist-ordering detector
 //! ```
 
 use bench::args::Args;
@@ -29,6 +30,7 @@ fn main() {
     let residue_seeds = args.u64("residue-seeds", 2);
     let ops = args.u64("ops", if smoke { 32 } else { 48 });
     let nested = !args.flag("no-nested");
+    let pmcheck = args.flag("pmcheck");
     let structures = args.list("structures", "upskiplist,pmalloc,pmwcas,pmemtx");
 
     let cfg = SweepConfig {
@@ -37,15 +39,17 @@ fn main() {
         plans: standard_plans(residue_seeds),
         nested,
         ops,
+        pmcheck,
     };
     println!(
         "crash_sweep: {} structures x {} points x {} seeds x {} policies \
-         (nested crash-during-recovery: {})",
+         (nested crash-during-recovery: {}, pmcheck: {})",
         structures.len(),
         cfg.points,
         cfg.seeds.len(),
         cfg.plans.len(),
-        if nested { "on" } else { "off" }
+        if nested { "on" } else { "off" },
+        if pmcheck { "track" } else { "off" }
     );
 
     let mut outcomes: Vec<SweepOutcome> = Vec::new();
@@ -60,18 +64,36 @@ fn main() {
                 std::process::exit(2);
             }
         };
-        println!(
-            "  {:<12} {:>5} states  {:>3} failures",
-            out.name,
-            out.states,
-            out.failures.len()
-        );
+        if pmcheck {
+            println!(
+                "  {:<12} {:>5} states  {:>3} failures  {:>4} pmcheck advisories",
+                out.name,
+                out.states,
+                out.failures.len(),
+                out.advisories
+            );
+        } else {
+            println!(
+                "  {:<12} {:>5} states  {:>3} failures",
+                out.name,
+                out.states,
+                out.failures.len()
+            );
+        }
         outcomes.push(out);
     }
 
     let states: u64 = outcomes.iter().map(|o| o.states).sum();
     let failures: usize = outcomes.iter().map(|o| o.failures.len()).sum();
-    println!("crash_sweep: {states} states explored, {failures} failures");
+    if pmcheck {
+        let advisories: u64 = outcomes.iter().map(|o| o.advisories).sum();
+        println!(
+            "crash_sweep: {states} states explored, {failures} failures, \
+             {advisories} pmcheck advisories"
+        );
+    } else {
+        println!("crash_sweep: {states} states explored, {failures} failures");
+    }
     if failures > 0 {
         for o in &outcomes {
             for f in &o.failures {

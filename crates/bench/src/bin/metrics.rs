@@ -11,6 +11,15 @@
 //! a mixed read/update/scan run, a batched-read run, then a remove pass.
 //! (The untagged load phase lands in the `other` bucket and is excluded.)
 //! Emits CSV to stdout; `--json`/`--csv` also write the report to a file.
+//!
+//! `--guard [--baseline PATH] [--guard-ratio R]` additionally compares the
+//! upskiplist `mixed_mops` of this run (with the pmcheck dynamic detector
+//! at its default `PmCheckLevel::Off`, whose entire hot-path cost is one
+//! relaxed `AtomicU8` load and a predictable branch per pmem op) against
+//! the checked-in pre-detector baseline, and exits nonzero if throughput
+//! fell below `R` × baseline (default 0.5 — generous on purpose: the
+//! guard is a tripwire for the detector accidentally going hot at `Off`,
+//! not a precision benchmark).
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -94,6 +103,21 @@ fn build(name: &str, d: &Deployment, desc_count: usize, keys_per_node: usize) ->
     }
 }
 
+/// Pull `structures.<name>.all.mixed_mops` out of a `MetricsReport` JSON
+/// file with a dependency-free scan: find the structure key, then the
+/// first `"mixed_mops":` after it (the `all` section is emitted first).
+fn baseline_mixed_mops(path: &str, structure: &str) -> Option<f64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let at = text.find(&format!("\"{structure}\""))?;
+    let rest = &text[at..];
+    let v = rest.find("\"mixed_mops\":").map(|i| i + "\"mixed_mops\":".len())?;
+    let tail = rest[v..].trim_start();
+    let end = tail
+        .find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())
+        .unwrap_or(tail.len());
+    tail[..end].parse().ok()
+}
+
 fn main() {
     let args = Args::parse();
     let records = args.u64("records", 50_000);
@@ -103,12 +127,23 @@ fn main() {
     let structures = args.list("structures", "upskiplist,bztree,pmdkskip,hybridskip");
     let desc_count = args.usize("descriptors", 500_000.min(records as usize));
     let keys_per_node = args.usize("keys-per-node", 256);
+    let guard = args.flag("guard");
+    let baseline_path = args.get("baseline").unwrap_or("results/BENCH_metrics.json");
+    let guard_ratio: f64 = args
+        .get("guard-ratio")
+        .map(|v| v.parse().expect("--guard-ratio must be a float"))
+        .unwrap_or(0.5);
+    // Read the baseline up front: the same invocation may rewrite the
+    // baseline file via --json, and the guard must compare against the
+    // pre-run numbers, not its own output.
+    let guard_base = guard.then(|| baseline_mixed_mops(baseline_path, "upskiplist")).flatten();
+    let mut guard_mops: Option<f64> = None;
 
     let mut report = MetricsReport::new("metrics");
-    report.meta("records", &records.to_string());
-    report.meta("ops", &ops.to_string());
-    report.meta("threads", &threads.to_string());
-    report.meta("batch", &batch.to_string());
+    report.meta("records", records.to_string());
+    report.meta("ops", ops.to_string());
+    report.meta("threads", threads.to_string());
+    report.meta("batch", batch.to_string());
 
     let mixed = ycsb::generate(MIXED, records, ops, threads, 42);
     let reads = ycsb::generate(READS, records, ops, threads, 43);
@@ -160,6 +195,16 @@ fn main() {
         push_latency_rows(&mut report, sname, &registry);
         report.push(sname, "all", "mixed_mops", mixed_r.mops());
         report.push(sname, "all", "batched_read_mops", batched_r.mops());
+        if guard && sname == "upskiplist" {
+            for p in &t.pools {
+                assert_eq!(
+                    p.check_level(),
+                    pmem::PmCheckLevel::Off,
+                    "the guard measures the detector's Off cost; a pool came up checked"
+                );
+            }
+            guard_mops = Some(mixed_r.mops());
+        }
         if let (Some(l), Some(base)) = (&t.upskiplist, base) {
             push_struct_rows(&mut report, sname, &l.struct_metrics().since(&base));
         }
@@ -176,5 +221,33 @@ fn main() {
     }
     if let Some(path) = args.get("csv") {
         write_report(&report, path);
+    }
+
+    if guard {
+        let current = guard_mops
+            .expect("--guard needs upskiplist in --structures to measure Off-level cost");
+        match guard_base {
+            Some(base) => {
+                let floor = base * guard_ratio;
+                eprintln!(
+                    "pmcheck guard: upskiplist mixed {current:.3} Mops vs pre-detector \
+                     baseline {base:.3} Mops (floor {floor:.3} at ratio {guard_ratio})"
+                );
+                if current < floor {
+                    eprintln!(
+                        "pmcheck guard: FAIL — PmCheckLevel::Off is supposed to cost one \
+                         relaxed u8 load per op; something made the hot path expensive"
+                    );
+                    std::process::exit(1);
+                }
+                eprintln!("pmcheck guard: ok");
+            }
+            None => {
+                eprintln!(
+                    "pmcheck guard: no baseline at {baseline_path} — recording only \
+                     (run the full metrics bin with --json to create one)"
+                );
+            }
+        }
     }
 }

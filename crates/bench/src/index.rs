@@ -227,6 +227,7 @@ fn sized_builder(d: &Deployment, cfg: ListConfig, evict_one_in: u32) -> ListBuil
         num_arenas: 8,
         blocks_per_chunk,
         obs: d.obs,
+        check: pmem::PmCheckLevel::Off,
     }
 }
 
@@ -252,6 +253,7 @@ pub fn build_pool(d: &Deployment, words: u64) -> Arc<Pool> {
             latency: d.latency,
             evict_one_in: 0,
             obs: d.obs,
+            check: pmem::PmCheckLevel::Off,
         },
         Arc::new(pmem::CrashController::new()),
     )

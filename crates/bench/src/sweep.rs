@@ -29,13 +29,14 @@
 //! `(crash_after, seed, policy)` after shrinking `crash_after` with
 //! [`lincheck::minimize_crash_point`].
 
+use std::cell::Cell;
 use std::collections::BTreeMap;
 use std::panic::AssertUnwindSafe;
 use std::sync::Arc;
 
 use lincheck::{minimize_crash_point, ReproTuple};
 use pmem::pool::PoolConfig;
-use pmem::{run_crashable, CrashController, CrashPlan, ObsLevel, PersistenceMode, Pool};
+use pmem::{run_crashable, CrashController, CrashPlan, ObsLevel, PersistenceMode, PmCheckLevel, Pool};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use riv::RivPtr;
 use upskiplist::{ListBuilder, ListConfig, UpSkipList};
@@ -503,22 +504,83 @@ fn power_fail<S: CrashSubject>(s: &S, plan: CrashPlan) {
     pmem::discard_pending();
 }
 
+thread_local! {
+    /// Advisory pmcheck findings (PMD02/PMD03) tallied by `run_point` on
+    /// this driver thread; drained into [`SweepOutcome::advisories`].
+    static ADVISORIES: Cell<u64> = const { Cell::new(0) };
+}
+
 /// Run one sweep state to completion. Returns `Err(reason)` on any
 /// verification failure or unexpected panic.
+///
+/// With `pmcheck` the dynamic persist-ordering detector runs in
+/// [`PmCheckLevel::Track`] over the whole state — workload, injected
+/// crashes, nested recovery, verification — and its findings are drained
+/// at the end regardless of how the state finished, so every PMD01 is
+/// cross-checked against the injected-crash verdict for the *same* state:
+/// a violation alongside a verify failure confirms the detector caught the
+/// cause; a violation on a passing state is a latent ordering bug that the
+/// sampled residue happened not to expose. Both fail the state. Advisory
+/// findings (redundant fences, reads of never-durable residue) are only
+/// tallied.
 pub fn run_point<S: CrashSubject>(
     mk: &dyn Fn(u64) -> S,
     crash_after: u64,
     seed: u64,
     plan: CrashPlan,
     nested: bool,
+    pmcheck: bool,
 ) -> Result<(), String> {
     let mut s = mk(seed);
+    if pmcheck {
+        pmem::check::reset_thread();
+        for pool in s.pools() {
+            pool.set_check_level(PmCheckLevel::Track);
+        }
+    }
+    let result = drive_point(&mut s, crash_after, seed, plan, nested);
+    if !pmcheck {
+        return result;
+    }
+    let mut violations = Vec::new();
+    let mut advisories = 0u64;
+    for pool in s.pools() {
+        for f in pool.take_check_findings() {
+            if f.rule.is_violation() {
+                violations.push(f.to_string());
+            } else {
+                advisories += 1;
+            }
+        }
+    }
+    ADVISORIES.with(|a| a.set(a.get() + advisories));
+    if violations.is_empty() {
+        return result;
+    }
+    let list = violations.join("; ");
+    Err(match result {
+        Err(e) => format!("{e} [pmcheck confirms: {list}]"),
+        Ok(()) => format!(
+            "pmcheck: {} ordering violation(s) on a state that verified clean \
+             (latent bug the sampled residue missed): {list}",
+            violations.len()
+        ),
+    })
+}
+
+fn drive_point<S: CrashSubject>(
+    s: &mut S,
+    crash_after: u64,
+    seed: u64,
+    plan: CrashPlan,
+    nested: bool,
+) -> Result<(), String> {
     let ctl = s.controller();
 
     ctl.arm_after(crash_after);
     let first = stage(|| s.workload()).map_err(|e| format!("workload: {e}"))?;
     ctl.disarm();
-    power_fail(&s, plan);
+    power_fail(s, plan);
 
     if nested {
         // Crash again *inside* recovery, at a point derived from the tuple,
@@ -529,7 +591,7 @@ pub fn run_point<S: CrashSubject>(
         let r = stage(|| s.recover()).map_err(|e| format!("nested recovery: {e}"))?;
         ctl.disarm();
         if matches!(r, Stage::Crashed) {
-            power_fail(&s, plan);
+            power_fail(s, plan);
         }
     }
 
@@ -573,6 +635,10 @@ pub struct SweepConfig {
     pub nested: bool,
     /// Workload operations per state.
     pub ops: u64,
+    /// Run the dynamic persist-ordering detector (`PmCheckLevel::Track`)
+    /// over every state; PMD01 violations fail the state, advisories are
+    /// tallied into [`SweepOutcome::advisories`].
+    pub pmcheck: bool,
 }
 
 /// Result of sweeping one subject.
@@ -582,6 +648,9 @@ pub struct SweepOutcome {
     pub states: u64,
     /// One repro line per failing state (already minimized).
     pub failures: Vec<String>,
+    /// Advisory pmcheck findings (PMD02 redundant fences, PMD03 reads of
+    /// never-durable residue) across all states; zero with pmcheck off.
+    pub advisories: u64,
 }
 
 /// Walk the full grid for one subject; failing states are minimized and
@@ -595,7 +664,9 @@ pub fn sweep<S: CrashSubject>(
         name,
         states: 0,
         failures: Vec::new(),
+        advisories: 0,
     };
+    ADVISORIES.with(|a| a.set(0));
     for &seed in &cfg.seeds {
         let total = calibrate(mk, seed);
         let step = (total / (cfg.points as u64 + 1)).max(1);
@@ -603,9 +674,9 @@ pub fn sweep<S: CrashSubject>(
             let crash_after = step * i;
             for &plan in &cfg.plans {
                 out.states += 1;
-                if let Err(msg) = run_point(mk, crash_after, seed, plan, cfg.nested) {
+                if let Err(msg) = run_point(mk, crash_after, seed, plan, cfg.nested, cfg.pmcheck) {
                     let min = minimize_crash_point(
-                        |k| run_point(mk, k, seed, plan, cfg.nested).is_err(),
+                        |k| run_point(mk, k, seed, plan, cfg.nested, cfg.pmcheck).is_err(),
                         crash_after,
                     );
                     let repro = ReproTuple {
@@ -620,6 +691,7 @@ pub fn sweep<S: CrashSubject>(
             }
         }
     }
+    out.advisories = ADVISORIES.with(|a| a.take());
     out
 }
 
@@ -648,6 +720,7 @@ mod tests {
             plans: standard_plans(1),
             nested: true,
             ops: 24,
+            pmcheck: false,
         }
     }
 
@@ -684,5 +757,30 @@ mod tests {
         let cfg = quick();
         let out = sweep("pmemtx", &|seed| TxSubject::new(seed, 12), &cfg);
         assert!(out.failures.is_empty(), "{:?}", out.failures);
+    }
+
+    /// Every subject must sweep violation-free with the dynamic detector
+    /// armed: a PMD01 here is a real write→publish ordering bug (or a
+    /// detector false positive) in the swept crate.
+    #[test]
+    fn all_subjects_sweep_clean_under_pmcheck() {
+        pmem::crash::silence_crash_panics();
+        let mut cfg = quick();
+        cfg.pmcheck = true;
+        let ops = cfg.ops;
+        let outs = [
+            sweep("upskiplist", &|seed| SkipListSubject::new(seed, ops), &cfg),
+            sweep("pmalloc", &|seed| AllocSubject::new(seed, ops), &cfg),
+            sweep("pmwcas", &|seed| PmwcasSubject::new(seed, 12), &cfg),
+            sweep("pmemtx", &|seed| TxSubject::new(seed, 12), &cfg),
+        ];
+        for out in &outs {
+            assert!(
+                out.failures.is_empty(),
+                "{} under pmcheck: {:?}",
+                out.name,
+                out.failures
+            );
+        }
     }
 }

@@ -7,7 +7,7 @@ use std::sync::Arc;
 use obs::{ObsLevel, Registry};
 use pmalloc::{AllocConfig, Allocator, Reachability, KIND_NODE};
 use pmem::pool::PoolConfig;
-use pmem::{CrashController, LatencyModel, PersistenceMode, Placement, Pool};
+use pmem::{CrashController, LatencyModel, PersistenceMode, Placement, PmCheckLevel, Pool};
 use riv::{RivPtr, RivSpace};
 
 use crate::config::{ListConfig, KEY_INF, KEY_NULL, TOMBSTONE};
@@ -67,6 +67,9 @@ pub struct ListBuilder {
     /// Observability level for the pools and the structure counters
     /// (`Off` for throughput benchmarks — the counters are shared atomics).
     pub obs: ObsLevel,
+    /// Persist-ordering check level for the pools (requires
+    /// `PersistenceMode::Tracked` when enabled; see `pmem::check`).
+    pub check: PmCheckLevel,
 }
 
 impl Default for ListBuilder {
@@ -82,13 +85,20 @@ impl Default for ListBuilder {
             num_arenas: 4,
             blocks_per_chunk: 64,
             obs: ObsLevel::Counters,
+            check: PmCheckLevel::Off,
         }
     }
 }
 
 impl ListBuilder {
-    /// Migration shim for the pre-`ObsLevel` API.
-    #[deprecated(note = "set `obs` to ObsLevel::Counters / ObsLevel::Off instead")]
+    /// Migration shim for the pre-`ObsLevel` API. No internal callers
+    /// remain (the `pmcheck` PMS06 lint enforces that); scheduled for
+    /// removal once downstream users have migrated.
+    #[deprecated(
+        since = "0.1.0",
+        note = "set `obs` to ObsLevel::Counters / ObsLevel::Off instead; \
+                this shim will be removed in the next breaking release"
+    )]
     pub fn collect_stats(mut self, on: bool) -> Self {
         self.obs = if on {
             ObsLevel::Counters
@@ -139,6 +149,7 @@ impl ListBuilder {
                         latency: self.latency,
                         evict_one_in: self.evict_one_in,
                         obs: self.obs,
+                        check: self.check,
                     },
                     Arc::clone(&crash),
                 )
@@ -176,9 +187,12 @@ impl UpSkipList {
             stats,
         });
         // Sentinels (§4.2). The tail is created first so the head can link
-        // to it at every level.
+        // to it at every level. Each sentinel is persisted before the next
+        // allocator publish so formatting obeys the same write → persist →
+        // publish discipline pmcheck enforces on normal operation.
         let tail = list.alloc_block(RivPtr::NULL, KEY_INF);
         list.init_sentinel(tail, KEY_INF);
+        list.space().persist(tail, node_words(&cfg));
         let head = list.alloc_block(RivPtr::NULL, KEY_NULL);
         list.init_sentinel(head, KEY_NULL);
         for level in 0..cfg.max_height {
@@ -186,7 +200,6 @@ impl UpSkipList {
                 .write(head.add(next_off_cfg(&cfg, level) as u32), tail.raw());
         }
         list.space().persist(head, node_words(&cfg));
-        list.space().persist(tail, node_words(&cfg));
         pool0.write(ROOT_EPOCH, epoch);
         pool0.write(ROOT_CLEAN, 0);
         pool0.write(ROOT_CONFIG, cfg.pack());

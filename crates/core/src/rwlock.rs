@@ -10,7 +10,15 @@
 //! [`drain_readers`] resets a stale reader count with a CAS from the exact
 //! observed value — using a blind store here was one of the two bugs the
 //! thesis's linearizability analyzer caught (§6.3).
+//!
+//! Lock words are *volatile-intent*: their value is never required to
+//! survive a crash (recovery drains whatever the dead epoch left behind),
+//! so none of the CASes below is followed by a flush. That is the
+//! sanctioned exception the flush audit and the `pmcheck` detector share —
+//! every CAS here runs under `exempt_scope("node-lock-word")`, and the tag
+//! is declared in the workspace `pmcheck.toml` allowlist.
 
+use pmem::check::exempt_scope;
 use riv::{RivPtr, RivSpace};
 
 use crate::layout::N_LOCK;
@@ -45,6 +53,7 @@ pub fn reader_count(v: u64) -> u64 {
 /// lock (Function 16 line 200).
 pub fn try_read_lock(space: &RivSpace, node: RivPtr) -> bool {
     let w = lock_word(node);
+    let _exempt = exempt_scope("node-lock-word");
     loop {
         let v = space.read(w);
         if is_write_locked(v) {
@@ -59,6 +68,7 @@ pub fn try_read_lock(space: &RivSpace, node: RivPtr) -> bool {
 /// Release a read lock.
 pub fn read_unlock(space: &RivSpace, node: RivPtr) {
     let w = lock_word(node);
+    let _exempt = exempt_scope("node-lock-word");
     loop {
         let v = space.read(w);
         debug_assert!(reader_count(v) > 0, "read_unlock without a read lock");
@@ -71,12 +81,14 @@ pub fn read_unlock(space: &RivSpace, node: RivPtr) {
 /// Try to acquire the write lock. Succeeds only when there are no readers
 /// and no writer (Function 20 line 250).
 pub fn try_write_lock(space: &RivSpace, node: RivPtr) -> bool {
+    let _exempt = exempt_scope("node-lock-word");
     space.cas(lock_word(node), 0, WRITE_BIT).is_ok()
 }
 
 /// Release the write lock.
 pub fn write_unlock(space: &RivSpace, node: RivPtr) {
     let w = lock_word(node);
+    let _exempt = exempt_scope("node-lock-word");
     let r = space.cas(w, WRITE_BIT, 0);
     debug_assert!(r.is_ok(), "write_unlock without the write lock");
     let _ = r;
@@ -91,6 +103,7 @@ pub fn drain_readers(space: &RivSpace, node: RivPtr, observed: u64) {
     if reader_count(observed) == 0 {
         return;
     }
+    let _exempt = exempt_scope("node-lock-word");
     let _ = space.cas(lock_word(node), observed, observed & WRITE_BIT);
 }
 

@@ -1,0 +1,95 @@
+//! `cargo run -p pmcheck -- lint` — static persist-ordering lint over the
+//! workspace. Exits nonzero on any finding not covered by `pmcheck.toml`.
+//!
+//! ```text
+//! pmcheck lint [--root DIR] [--verbose]   # scan crates/, apply allowlist
+//! pmcheck rules                           # list rule ids
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn workspace_root(explicit: Option<PathBuf>) -> Option<PathBuf> {
+    if let Some(r) = explicit {
+        return Some(r);
+    }
+    // Walk up from cwd (covers `cargo run -p pmcheck` anywhere in the
+    // tree) looking for the directory that holds `crates/`.
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("crates").is_dir() && dir.join("Cargo.toml").is_file() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let cmd = args.next().unwrap_or_else(|| "lint".into());
+    let mut root = None;
+    let mut verbose = false;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => root = args.next().map(PathBuf::from),
+            "--verbose" | "-v" => verbose = true,
+            other => {
+                eprintln!("pmcheck: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    match cmd.as_str() {
+        "rules" => {
+            for (id, summary) in pmcheck::RULES {
+                println!("{id}  {summary}");
+            }
+            ExitCode::SUCCESS
+        }
+        "lint" => {
+            let Some(root) = workspace_root(root) else {
+                eprintln!("pmcheck: could not locate the workspace root (use --root)");
+                return ExitCode::from(2);
+            };
+            let report = match pmcheck::lint_workspace(&root) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("pmcheck: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            if verbose {
+                for (f, reason) in &report.allowed {
+                    println!("allowed: {f} ({reason})");
+                }
+            }
+            for entry in &report.stale_allows {
+                eprintln!(
+                    "pmcheck: warning: stale allowlist entry {} {} matches nothing",
+                    entry.rule, entry.path
+                );
+            }
+            for f in &report.violations {
+                println!("{f}");
+            }
+            println!(
+                "pmcheck: {} files, {} violations, {} allowlisted",
+                report.files,
+                report.violations.len(),
+                report.allowed.len()
+            );
+            if report.violations.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        other => {
+            eprintln!("pmcheck: unknown command `{other}` (try `lint` or `rules`)");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Dynamic-detector true positives: tiny seeded bugs driven straight
+//! against `pmem`'s `PmCheckLevel::Track` machinery, asserting the exact
+//! rule id and cache line of every report — plus a miniature
+//! crash-correlation run showing a PMD01 predicting a real durability
+//! failure under injected residue.
+
+use pmem::{CrashPlan, PmCheckLevel, Pool, Rule, CACHE_LINE_WORDS};
+
+fn tracked() -> std::sync::Arc<Pool> {
+    let p = Pool::tracked(256);
+    p.set_check_level(PmCheckLevel::Track);
+    p
+}
+
+#[test]
+fn skipped_flush_before_publish_is_pmd01_on_the_written_line() {
+    let p = tracked();
+    p.write(64, 7); // line 8, never flushed
+    let _ = p.cas(8, 0, 64); // publish on line 1
+    pmem::sfence();
+    let findings = p.take_check_findings();
+    let v: Vec<_> = findings.iter().filter(|f| f.rule.is_violation()).collect();
+    assert_eq!(v.len(), 1, "exactly one violation: {findings:?}");
+    assert_eq!(v[0].rule, Rule::UnflushedPublish);
+    assert_eq!(v[0].rule.id(), "PMD01");
+    assert_eq!(v[0].line, 64 / CACHE_LINE_WORDS, "blames the written line");
+    pmem::check::reset_thread();
+}
+
+#[test]
+fn flush_without_fence_before_publish_is_also_pmd01() {
+    let p = tracked();
+    p.write(128, 7);
+    p.flush(128); // CLWB issued but no SFENCE yet
+    let _ = p.cas(8, 0, 128);
+    let findings = p.take_check_findings();
+    let v: Vec<_> = findings.iter().filter(|f| f.rule.is_violation()).collect();
+    assert_eq!(v.len(), 1, "{findings:?}");
+    assert_eq!(v[0].rule.id(), "PMD01");
+    assert!(
+        v[0].detail.contains("flushed but not fenced"),
+        "detail should distinguish missing-fence from missing-flush: {}",
+        v[0].detail
+    );
+    pmem::sfence();
+    pmem::check::reset_thread();
+}
+
+#[test]
+fn redundant_fence_is_tallied_as_pmd02() {
+    let p = tracked();
+    pmem::check::reset_thread();
+    p.write(8, 1);
+    p.persist(8, 1); // flush + fence: does real work
+    let before = pmem::check::take_redundant_fences();
+    pmem::sfence(); // nothing pending — pure MOD overhead
+    pmem::sfence();
+    let tallied = pmem::check::take_redundant_fences();
+    assert_eq!(before, 0);
+    assert_eq!(tallied, 2, "both empty fences are PMD02 advisories");
+}
+
+#[test]
+fn reading_never_durable_residue_is_pmd03() {
+    let p = tracked();
+    p.write(192, 99); // line 24: written, never flushed or fenced
+    p.simulate_crash_with(CrashPlan::KeepAll); // residue survives by luck
+    pmem::discard_pending();
+    assert_eq!(p.read(192), 99, "KeepAll residue is visible");
+    let findings = p.take_check_findings();
+    let hit = findings
+        .iter()
+        .find(|f| f.rule == Rule::UndurableRead)
+        .expect("recovery-time read of never-durable residue must be flagged");
+    assert_eq!(hit.rule.id(), "PMD03");
+    assert_eq!(hit.line, 192 / CACHE_LINE_WORDS);
+    assert!(!hit.rule.is_violation(), "PMD03 is advisory");
+    pmem::check::reset_thread();
+}
+
+/// Miniature version of the E12 cross-check: a structure that publishes a
+/// pointer to an unflushed record gets a PMD01 from the detector *and*
+/// loses the record under DropAll residue — the static/dynamic finding
+/// predicts the actual durability failure.
+#[test]
+fn pmd01_predicts_real_data_loss_under_crash_residue() {
+    let p = tracked();
+    // Bug: record at line 8 is published (root pointer at word 8, line 1)
+    // before the record is persisted. The root itself IS persisted, making
+    // the dangling-pointer window durable.
+    p.write(64, 42);
+    let _ = p.cas(8, 0, 64);
+    p.persist(8, 1);
+
+    let findings = p.take_check_findings();
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.rule.is_violation() && f.line == 64 / CACHE_LINE_WORDS),
+        "detector must flag the publish: {findings:?}"
+    );
+
+    // Adversarial residue: every non-durable line is dropped.
+    p.simulate_crash_with(CrashPlan::DropAll);
+    pmem::discard_pending();
+    assert_eq!(p.read(8), 64, "the fenced root pointer survived");
+    assert_eq!(
+        p.read(64),
+        0,
+        "the unflushed record did not — exactly the loss PMD01 predicted"
+    );
+    pmem::check::reset_thread();
+}

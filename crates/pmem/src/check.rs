@@ -1,0 +1,685 @@
+//! pmcheck's dynamic half: a per-cache-line persist-ordering state machine.
+//!
+//! Every cache line of a check-enabled pool moves through the states
+//! `clean → written → flushed → durable` as threads write, CLWB and SFENCE
+//! it, with the owning thread and the fence epoch of its last durability
+//! transition recorded alongside. Three rules are evaluated against that
+//! state machine at runtime:
+//!
+//! * **PMD01 `unflushed-publish`** (violation): a publish CAS executed
+//!   while a non-exempt line written by the issuing thread — or, detected
+//!   via the shared line table, by another thread — had not yet reached
+//!   `durable`. This is the write → CLWB → SFENCE → publish discipline of
+//!   the thesis's Chapter 6 correctness argument: anything a CAS makes
+//!   reachable must already be persistent.
+//! * **PMD02 `redundant-fence`** (advisory): an SFENCE that covered zero
+//!   pending flushes. Harmless for correctness but exactly the class of
+//!   avoidable ordering points MOD (Haria et al.) minimizes; reported so
+//!   fence-discipline regressions are visible.
+//! * **PMD03 `undurable-read`** (advisory): a post-crash read observed a
+//!   line that survived the crash *without ever becoming durable by
+//!   protocol* (kept as unflushed/unfenced residue, or spontaneously
+//!   evicted). Recovery code is expected to read-and-validate such
+//!   residue; the report stream lets the E12 harness cross-check verify
+//!   failures against the exact lines recovery trusted.
+//!
+//! Sanctioned exceptions — words whose durability is deliberately deferred
+//! or covered by another mechanism (node lock words, pmwcas dirty bits,
+//! undo-logged transaction writes) — are marked at the write site with
+//! [`exempt_scope`]. Each scope carries a tag that must also appear in the
+//! workspace `pmcheck.toml` allowlist; the static lint and the test suite
+//! cross-check the two so the dynamic detector and the lint cannot
+//! disagree about what is sanctioned.
+//!
+//! Enabling is per pool via [`PmCheckLevel`] (mirroring `ObsLevel`): at
+//! `Off` the hot paths pay one relaxed load and a never-taken branch; at
+//! `Track` findings are recorded and drained with
+//! [`Pool::take_check_findings`]; `Panic` additionally aborts the test at
+//! the first rule *violation*.
+
+use std::cell::{Cell, RefCell};
+use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, Weak};
+
+use crate::pool::Pool;
+use crate::thread;
+
+/// How much persist-ordering checking a pool performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PmCheckLevel {
+    /// No tracking; the hot path pays a single never-taken branch.
+    #[default]
+    Off,
+    /// Track line states and record findings for
+    /// [`Pool::take_check_findings`].
+    Track,
+    /// Like `Track`, but panic at the first rule *violation* (advisory
+    /// findings never panic). For tests that want a hard stop.
+    Panic,
+}
+
+impl PmCheckLevel {
+    /// True unless the level is [`PmCheckLevel::Off`].
+    #[inline]
+    pub fn enabled(self) -> bool {
+        !matches!(self, PmCheckLevel::Off)
+    }
+
+    pub(crate) fn to_u8(self) -> u8 {
+        match self {
+            PmCheckLevel::Off => 0,
+            PmCheckLevel::Track => 1,
+            PmCheckLevel::Panic => 2,
+        }
+    }
+
+    pub(crate) fn from_u8(v: u8) -> Self {
+        match v {
+            1 => PmCheckLevel::Track,
+            2 => PmCheckLevel::Panic,
+            _ => PmCheckLevel::Off,
+        }
+    }
+}
+
+/// A persist-ordering rule the dynamic detector evaluates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// PMD01: publish CAS over a non-durable line.
+    UnflushedPublish,
+    /// PMD02: SFENCE covering zero pending flushes.
+    RedundantFence,
+    /// PMD03: read of a line that survived a crash without ever being
+    /// durable by protocol.
+    UndurableRead,
+}
+
+impl Rule {
+    /// Stable identifier used in reports, tests and the allowlist.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::UnflushedPublish => "PMD01",
+            Rule::RedundantFence => "PMD02",
+            Rule::UndurableRead => "PMD03",
+        }
+    }
+
+    /// Violations fail a checked run; advisory findings are tallied only.
+    pub fn is_violation(self) -> bool {
+        matches!(self, Rule::UnflushedPublish)
+    }
+}
+
+/// One detector finding.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub rule: Rule,
+    /// Pool holding the offending line.
+    pub pool: u16,
+    /// Cache-line index of the offending line within that pool.
+    pub line: u64,
+    /// Thread that left the line in its non-durable state.
+    pub writer: u16,
+    /// Thread whose operation tripped the rule.
+    pub detector: u16,
+    /// Global fence epoch at detection time.
+    pub fence_epoch: u64,
+    pub detail: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} pool {} line {} (writer t{}, detector t{}, epoch {}): {}",
+            self.rule.id(),
+            self.pool,
+            self.line,
+            self.writer,
+            self.detector,
+            self.fence_epoch,
+            self.detail
+        )
+    }
+}
+
+// ---- per-line packed state -------------------------------------------------
+//
+// bits 0..3   state (CLEAN / WRITTEN / FLUSHED / DURABLE)
+// bit  3      non-exempt dirtiness since the last durability transition
+// bit  4      exempt (volatile-intent) dirtiness
+// bit  5      taint: survived a crash without ever being durable
+// bits 8..24  owning thread (last writer) id
+// bits 32..64 fence epoch of the last durable transition
+
+const ST_MASK: u64 = 0b111;
+pub(crate) const ST_CLEAN: u64 = 0;
+pub(crate) const ST_WRITTEN: u64 = 1;
+pub(crate) const ST_FLUSHED: u64 = 2;
+pub(crate) const ST_DURABLE: u64 = 3;
+
+const F_NONEXEMPT: u64 = 1 << 3;
+const F_EXEMPT: u64 = 1 << 4;
+const F_TAINT: u64 = 1 << 5;
+
+const OWNER_SHIFT: u32 = 8;
+const OWNER_MASK: u64 = 0xffff << OWNER_SHIFT;
+const EPOCH_SHIFT: u32 = 32;
+
+#[inline]
+fn st(word: u64) -> u64 {
+    word & ST_MASK
+}
+
+#[inline]
+fn owner(word: u64) -> u16 {
+    ((word & OWNER_MASK) >> OWNER_SHIFT) as u16
+}
+
+#[inline]
+fn with_owner(word: u64, tid: u16) -> u64 {
+    (word & !OWNER_MASK) | ((tid as u64) << OWNER_SHIFT)
+}
+
+/// Global SFENCE epoch: bumped once per fence that commits at least one
+/// line of a check-enabled pool.
+static FENCE_EPOCH: AtomicU64 = AtomicU64::new(0);
+
+/// Registry of check-enabled pools, keyed by `&Pool` address, so the
+/// publish check can consult the line table of pools other than the one
+/// being CASed. Entries are purged lazily when their `Weak` dies.
+static CHECK_POOLS: Mutex<Option<HashMap<usize, Weak<Pool>>>> = Mutex::new(None);
+
+/// Exempt-scope tags observed at runtime (for allowlist cross-checks).
+static USED_TAGS: Mutex<BTreeSet<&'static str>> = Mutex::new(BTreeSet::new());
+
+thread_local! {
+    /// Non-exempt lines this thread has written whose durability it has
+    /// not yet observed; candidates for the publish check. The line table
+    /// is the source of truth — entries whose line went durable (possibly
+    /// via another thread's fence) are dropped lazily.
+    static DIRTY: RefCell<BTreeSet<(usize, u64)>> = const { RefCell::new(BTreeSet::new()) };
+    /// Stack of nested [`exempt_scope`] tags; non-empty means exempt.
+    static EXEMPT: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+    /// Set once this thread touches a check-enabled pool; gates the
+    /// redundant-fence check so unrelated threads never record findings.
+    static ARMED: Cell<bool> = const { Cell::new(false) };
+    /// Redundant fences observed by this thread (PMD02 tally).
+    static REDUNDANT_FENCES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// RAII guard marking the scope's pmem writes/CASes as volatile-intent:
+/// their durability is deliberately deferred or covered by another
+/// mechanism, so they are excluded from the PMD01 publish check and from
+/// crash tainting. See [`exempt_scope`].
+pub struct ExemptGuard {
+    _priv: (),
+}
+
+impl Drop for ExemptGuard {
+    fn drop(&mut self) {
+        EXEMPT.with(|e| {
+            e.borrow_mut().pop();
+        });
+    }
+}
+
+/// Enter an exempt scope. `tag` names the sanctioned exception and must be
+/// declared in the workspace `pmcheck.toml` allowlist (`[[exempt]]` entry);
+/// the test suite cross-checks tags observed at runtime against it. Tags
+/// are recorded lazily, at the first check-enabled write the scope covers,
+/// so entering a scope costs one thread-local push even with checking off.
+pub fn exempt_scope(tag: &'static str) -> ExemptGuard {
+    EXEMPT.with(|e| e.borrow_mut().push(tag));
+    ExemptGuard { _priv: () }
+}
+
+/// Exempt-scope tags that have been observed by a check-enabled pool since
+/// process start (never cleared; tags are static by construction).
+pub fn exempt_tags_used() -> Vec<&'static str> {
+    USED_TAGS.lock().unwrap().iter().copied().collect()
+}
+
+/// The number of redundant fences (PMD02) the *current thread* has
+/// executed since the last call; resets the tally.
+pub fn take_redundant_fences() -> u64 {
+    REDUNDANT_FENCES.with(|r| r.replace(0))
+}
+
+/// Current global fence epoch (diagnostic).
+pub fn fence_epoch() -> u64 {
+    FENCE_EPOCH.load(Ordering::Relaxed)
+}
+
+/// Forget the current thread's dirty-line candidates (the machine
+/// rebooted, or a test wants isolation). Pool line tables are reset by
+/// [`Pool::simulate_crash_with`] themselves.
+pub fn reset_thread() {
+    DIRTY.with(|d| d.borrow_mut().clear());
+    REDUNDANT_FENCES.with(|r| r.set(0));
+}
+
+/// Drop only the dirty-line candidates (the thread discarded or handed
+/// off its pending flushes); the PMD02 tally survives.
+pub(crate) fn clear_thread_dirty() {
+    DIRTY.with(|d| d.borrow_mut().clear());
+}
+
+/// Whether the thread is inside an exempt scope; records the innermost
+/// tag as "used" on the way (only reached with checking enabled).
+fn note_exempt_scope() -> bool {
+    EXEMPT.with(|e| match e.borrow().last() {
+        Some(tag) => {
+            USED_TAGS.lock().unwrap().insert(tag);
+            true
+        }
+        None => false,
+    })
+}
+
+fn arm_thread() {
+    ARMED.with(|a| a.set(true));
+}
+
+pub(crate) fn register_pool(pool: &Arc<Pool>) {
+    let mut reg = CHECK_POOLS.lock().unwrap();
+    let map = reg.get_or_insert_with(HashMap::new);
+    map.retain(|_, w| w.strong_count() > 0);
+    map.insert(Arc::as_ptr(pool) as usize, Arc::downgrade(pool));
+}
+
+fn lookup_pool(addr: usize) -> Option<Arc<Pool>> {
+    let reg = CHECK_POOLS.lock().unwrap();
+    reg.as_ref().and_then(|m| m.get(&addr)).and_then(Weak::upgrade)
+}
+
+// ---- hooks (called from pool.rs, gated on the pool's level) ---------------
+
+/// Update `line`'s state word with `f` and return the previous word.
+fn update_line(pool: &Pool, line: u64, f: impl Fn(u64) -> u64) -> u64 {
+    let table = pool.check_table();
+    let slot = &table[line as usize];
+    let mut cur = slot.load(Ordering::Acquire);
+    loop {
+        match slot.compare_exchange_weak(cur, f(cur), Ordering::AcqRel, Ordering::Acquire) {
+            Ok(prev) => return prev,
+            Err(actual) => cur = actual,
+        }
+    }
+}
+
+#[inline]
+fn line_word(pool: &Pool, line: u64) -> u64 {
+    pool.check_table()[line as usize].load(Ordering::Acquire)
+}
+
+/// A write (or fetch-add) dirtied `line`.
+#[cold]
+pub(crate) fn on_write(pool: &Pool, off: u64) {
+    arm_thread();
+    let line = crate::line_of(off);
+    let tid = thread::current().id as u16;
+    let exempt = note_exempt_scope();
+    let flag = if exempt { F_EXEMPT } else { F_NONEXEMPT };
+    // A write also clears any crash taint: the residue is overwritten
+    // before anything read it.
+    update_line(pool, line, |w| {
+        with_owner((w & !ST_MASK & !F_TAINT) | ST_WRITTEN | flag, tid)
+    });
+    if !exempt {
+        let key = (pool as *const Pool as usize, line);
+        DIRTY.with(|d| {
+            d.borrow_mut().insert(key);
+        });
+    }
+}
+
+/// A successful CAS on `off`. Non-exempt CASes are publish points: every
+/// non-exempt line this thread has written must already be durable.
+#[cold]
+pub(crate) fn on_cas_success(pool: &Pool, off: u64) {
+    arm_thread();
+    let line = crate::line_of(off);
+    if EXEMPT.with(|e| e.borrow().is_empty()) {
+        publish_check(pool, line);
+    }
+    on_write(pool, off);
+}
+
+/// The PMD01 publish check: walk the thread's dirty-line candidates and
+/// report any that is still not durable (excluding the CAS target's own
+/// line, which the CAS itself is about to dirty and the caller persists
+/// after publication).
+fn publish_check(cas_pool: &Pool, cas_line: u64) {
+    let self_key = (cas_pool as *const Pool as usize, cas_line);
+    let candidates: Vec<(usize, u64)> = DIRTY.with(|d| d.borrow().iter().copied().collect());
+    if candidates.is_empty() {
+        return;
+    }
+    let tid = thread::current().id as u16;
+    let mut cleared: Vec<(usize, u64)> = Vec::new();
+    for key in candidates {
+        if key == self_key {
+            continue;
+        }
+        let (addr, line) = key;
+        let target = if addr == cas_pool as *const Pool as usize {
+            None // same pool: use `cas_pool` directly
+        } else {
+            match lookup_pool(addr) {
+                Some(p) => Some(p),
+                None => {
+                    cleared.push(key); // pool gone; stale candidate
+                    continue;
+                }
+            }
+        };
+        let pool_ref: &Pool = target.as_deref().unwrap_or(cas_pool);
+        if !pool_ref.check_on() {
+            cleared.push(key);
+            continue;
+        }
+        let w = line_word(pool_ref, line);
+        if st(w) == ST_DURABLE || st(w) == ST_CLEAN || w & F_NONEXEMPT == 0 {
+            cleared.push(key); // became durable (possibly via another thread)
+            continue;
+        }
+        let writer = owner(w);
+        let how = match st(w) {
+            ST_WRITTEN => "written but never flushed",
+            _ => "flushed but not fenced",
+        };
+        let who = if writer == tid {
+            "by the publishing thread".to_string()
+        } else {
+            format!("by another thread (t{writer})")
+        };
+        pool_ref.record_finding(Finding {
+            rule: Rule::UnflushedPublish,
+            pool: pool_ref.id(),
+            line,
+            writer,
+            detector: tid,
+            fence_epoch: fence_epoch(),
+            detail: format!(
+                "publish CAS on pool {} line {} while line {} was {how} {who}",
+                cas_pool.id(),
+                cas_line,
+                line
+            ),
+        });
+        cleared.push(key); // report once, not on every subsequent CAS
+    }
+    if !cleared.is_empty() {
+        DIRTY.with(|d| {
+            let mut d = d.borrow_mut();
+            for key in cleared {
+                d.remove(&key);
+            }
+        });
+    }
+}
+
+/// A CLWB on `line`: `written → flushed` (dirtiness and owner persist
+/// until the fence).
+#[cold]
+pub(crate) fn on_flush(pool: &Pool, line: u64) {
+    arm_thread();
+    update_line(pool, line, |w| {
+        if st(w) == ST_WRITTEN {
+            (w & !ST_MASK) | ST_FLUSHED
+        } else {
+            w
+        }
+    });
+}
+
+/// An SFENCE committed `line`: `flushed → durable` (a line re-written
+/// after its flush stays `written` — it needs another CLWB).
+pub(crate) fn on_fence_commit(pool: &Pool, line: u64, epoch: u64) {
+    let prev = update_line(pool, line, |w| {
+        if st(w) == ST_FLUSHED {
+            ((epoch << EPOCH_SHIFT) | ST_DURABLE) | (w & F_TAINT)
+        } else {
+            w
+        }
+    });
+    // Only an actual flushed → durable transition settles the line; a line
+    // re-dirtied after its CLWB stays `written` and needs a fresh flush,
+    // so it must remain a publish-check candidate.
+    if st(prev) == ST_FLUSHED {
+        let key = (pool as *const Pool as usize, line);
+        DIRTY.with(|d| {
+            d.borrow_mut().remove(&key);
+        });
+    }
+}
+
+/// Called once per [`sfence`](crate::sfence) drain that commits at least
+/// one check-enabled line; returns the fence epoch for the commits.
+pub(crate) fn next_fence_epoch() -> u64 {
+    FENCE_EPOCH.fetch_add(1, Ordering::Relaxed) + 1
+}
+
+/// Called by [`sfence`](crate::sfence) when the pending list was empty.
+pub(crate) fn on_empty_fence() {
+    if ARMED.with(|a| a.get()) {
+        REDUNDANT_FENCES.with(|r| r.set(r.get() + 1));
+    }
+}
+
+/// A read touched `[off, off + words)`: report tainted lines (once each).
+#[cold]
+pub(crate) fn on_read(pool: &Pool, off: u64, words: u64) {
+    let first = crate::line_of(off);
+    let last = crate::line_of(off + words.max(1) - 1);
+    for line in first..=last {
+        let prev = update_line(pool, line, |w| w & !F_TAINT);
+        if prev & F_TAINT != 0 {
+            let tid = thread::current().id as u16;
+            pool.record_finding(Finding {
+                rule: Rule::UndurableRead,
+                pool: pool.id(),
+                line,
+                writer: owner(prev),
+                detector: tid,
+                fence_epoch: fence_epoch(),
+                detail: format!(
+                    "read of pool {} line {} which survived the crash without ever being durable",
+                    pool.id(),
+                    line
+                ),
+            });
+        }
+    }
+}
+
+/// Crash classification for one line, from
+/// [`Pool::simulate_crash_with`]: `image_dirty` is whether the volatile
+/// and persisted images differed, `kept` whether the plan persisted it.
+/// Lines carrying non-exempt dirtiness that survive without a fence —
+/// kept residue, or spontaneous eviction (image already clean while the
+/// state machine says non-durable) — are tainted for PMD03.
+pub(crate) fn on_crash_line(pool: &Pool, line: u64, image_dirty: bool, kept: bool) {
+    update_line(pool, line, |w| {
+        let survived_undurable = st(w) != ST_DURABLE
+            && st(w) != ST_CLEAN
+            && w & F_NONEXEMPT != 0
+            && (kept || !image_dirty);
+        if survived_undurable {
+            F_TAINT | (w & OWNER_MASK)
+        } else {
+            0
+        }
+    });
+}
+
+/// Allocate the line-state table for a pool with `lines` cache lines.
+pub(crate) fn new_table(lines: u64) -> Box<[AtomicU64]> {
+    (0..lines).map(|_| AtomicU64::new(0)).collect()
+}
+
+/// Lazily-initialized per-pool storage for the detector.
+#[derive(Default)]
+pub(crate) struct CheckState {
+    pub(crate) table: OnceLock<Box<[AtomicU64]>>,
+    pub(crate) findings: Mutex<Vec<Finding>>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::{sfence, Pool};
+    use crate::CrashPlan;
+
+    fn checked_pool() -> Arc<Pool> {
+        let p = Pool::tracked(256);
+        p.set_check_level(PmCheckLevel::Track);
+        p
+    }
+
+    #[test]
+    fn clean_write_persist_publish_has_no_findings() {
+        let p = checked_pool();
+        p.write(0, 7);
+        p.persist(0, 1);
+        assert_eq!(p.cas(16, 0, 1), Ok(0)); // publish on line 2
+        p.persist(16, 1);
+        assert!(p.take_check_findings().is_empty());
+    }
+
+    #[test]
+    fn unflushed_write_at_publish_is_pmd01() {
+        let p = checked_pool();
+        p.write(0, 7); // line 0: persisted properly
+        p.persist(0, 1);
+        p.write(8, 9); // line 1: never flushed
+        assert_eq!(p.cas(16, 0, 1), Ok(0)); // publish on line 2
+        let findings = p.take_check_findings();
+        assert_eq!(findings.len(), 1, "exactly the skipped line: {findings:?}");
+        assert_eq!(findings[0].rule.id(), "PMD01");
+        assert_eq!(findings[0].line, 1);
+        assert!(findings[0].rule.is_violation());
+        // Reported once, not on every later CAS.
+        p.persist(16, 1); // settle the first CAS's own line
+        let _ = p.cas(24, 0, 1);
+        assert!(p.take_check_findings().is_empty());
+        p.write(8, 0); // leave the line clean for other tests' threads
+        p.persist(8, 1);
+    }
+
+    #[test]
+    fn flushed_but_unfenced_write_at_publish_is_pmd01() {
+        let p = checked_pool();
+        p.write(8, 9);
+        p.flush(8); // CLWB issued, no SFENCE
+        assert_eq!(p.cas(16, 0, 1), Ok(0));
+        let findings = p.take_check_findings();
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule.id(), "PMD01");
+        assert!(findings[0].detail.contains("flushed but not fenced"));
+        sfence();
+    }
+
+    #[test]
+    fn exempt_scope_suppresses_pmd01() {
+        let p = checked_pool();
+        {
+            let _g = exempt_scope("test-exempt");
+            p.write(8, 9); // volatile-intent by declaration
+        }
+        assert_eq!(p.cas(16, 0, 1), Ok(0));
+        p.persist(16, 1);
+        assert!(p.take_check_findings().is_empty());
+        assert!(exempt_tags_used().contains(&"test-exempt"));
+    }
+
+    #[test]
+    fn empty_fence_counts_as_redundant() {
+        let p = checked_pool();
+        p.write(0, 1); // arm the thread
+        p.persist(0, 1);
+        let _ = take_redundant_fences();
+        sfence(); // nothing pending
+        sfence();
+        assert_eq!(take_redundant_fences(), 2);
+        assert_eq!(take_redundant_fences(), 0, "taking resets the tally");
+        assert!(p
+            .take_check_findings()
+            .iter()
+            .all(|f| !f.rule.is_violation()));
+    }
+
+    #[test]
+    fn undurable_crash_survivor_read_is_pmd03() {
+        let p = checked_pool();
+        p.write(8, 9); // line 1: never flushed
+        p.simulate_crash_with(CrashPlan::KeepAll); // ... but it survives
+        reset_thread();
+        assert_eq!(p.read(8), 9);
+        let findings = p.take_check_findings();
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].rule.id(), "PMD03");
+        assert_eq!(findings[0].line, 1);
+        assert!(!findings[0].rule.is_violation());
+        // Taint reports once.
+        assert_eq!(p.read(8), 9);
+        assert!(p.take_check_findings().is_empty());
+    }
+
+    #[test]
+    fn dropped_residue_is_not_tainted() {
+        let p = checked_pool();
+        p.write(8, 9);
+        p.simulate_crash_with(CrashPlan::DropAll);
+        reset_thread();
+        assert_eq!(p.read(8), 0);
+        assert!(p.take_check_findings().is_empty());
+    }
+
+    #[test]
+    fn durable_lines_survive_crash_untainted() {
+        let p = checked_pool();
+        p.write(8, 9);
+        p.persist(8, 1);
+        p.simulate_crash_with(CrashPlan::KeepAll);
+        reset_thread();
+        assert_eq!(p.read(8), 9);
+        assert!(p.take_check_findings().is_empty());
+    }
+
+    #[test]
+    fn refenced_dirty_line_needs_a_new_flush() {
+        let p = checked_pool();
+        p.write(8, 1);
+        p.flush(8);
+        p.write(8, 2); // re-dirtied after the CLWB
+        sfence(); // commits the stale flush; line is NOT durable
+        assert_eq!(p.cas(16, 0, 1), Ok(0));
+        let findings = p.take_check_findings();
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].rule.id(), "PMD01");
+        p.persist(8, 1);
+    }
+
+    #[test]
+    fn panic_level_aborts_on_violation() {
+        let p = Pool::tracked(256);
+        p.set_check_level(PmCheckLevel::Panic);
+        let p2 = Arc::clone(&p);
+        let r = std::thread::spawn(move || {
+            p2.write(8, 9);
+            let _ = p2.cas(16, 0, 1);
+        })
+        .join();
+        assert!(r.is_err(), "Panic level must abort on PMD01");
+    }
+
+    #[test]
+    #[should_panic(expected = "Tracked")]
+    fn enabling_on_fast_pool_panics() {
+        let p = Pool::simple(64);
+        p.set_check_level(PmCheckLevel::Track);
+    }
+}

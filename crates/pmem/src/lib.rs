@@ -38,6 +38,7 @@
 //! which is what the NUMA-awareness experiments measure.
 
 pub mod audit;
+pub mod check;
 pub mod crash;
 pub mod latency;
 pub mod pool;
@@ -45,6 +46,7 @@ pub mod stats;
 pub mod thread;
 pub mod topology;
 
+pub use check::{exempt_scope, Finding, PmCheckLevel, Rule};
 pub use crash::{run_crashable, CrashController, CrashPlan, Crashed};
 pub use latency::LatencyModel;
 pub use obs::{ObsLevel, OpKind};

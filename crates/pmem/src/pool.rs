@@ -8,12 +8,13 @@
 
 use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Mutex};
 
 use obs::ObsLevel;
 
 use crate::audit;
+use crate::check::{self, PmCheckLevel};
 use crate::crash::{CrashController, CrashPlan};
 use crate::latency::LatencyModel;
 use crate::stats::{Field, Stats};
@@ -54,6 +55,11 @@ pub struct PoolConfig {
     /// `Full` both maintain them (`Full` additionally enables latency
     /// histograms in the layers above the pool).
     pub obs: ObsLevel,
+    /// Persist-ordering checking (see [`crate::check`]). Any level other
+    /// than [`PmCheckLevel::Off`] requires [`PersistenceMode::Tracked`].
+    /// Can also be raised after construction via
+    /// [`Pool::set_check_level`].
+    pub check: PmCheckLevel,
 }
 
 impl PoolConfig {
@@ -67,6 +73,7 @@ impl PoolConfig {
             latency: LatencyModel::default(),
             evict_one_in: 0,
             obs: ObsLevel::Counters,
+            check: PmCheckLevel::Off,
         }
     }
 
@@ -104,6 +111,11 @@ pub struct Pool {
     /// [`Pool::simulate_crash_with`] can enumerate every thread's unfenced
     /// lines, not just the calling thread's.
     unfenced: Mutex<HashMap<u64, u32>>,
+    /// [`PmCheckLevel`] as a u8 so the hot paths gate on one relaxed load.
+    check: AtomicU8,
+    /// Lazily-allocated per-line state table + findings for the dynamic
+    /// persist-ordering detector (see [`crate::check`]).
+    check_state: check::CheckState,
 }
 
 /// The current thread's CLWB-ed lines awaiting its next SFENCE. `list`
@@ -145,7 +157,7 @@ impl Pool {
             PersistenceMode::Tracked => Some(zeroed_words(cfg.len_words)),
         };
         let latency_enabled = !cfg.latency.is_disabled();
-        Arc::new(Self {
+        let pool = Arc::new(Self {
             id: cfg.id,
             placement: cfg.placement,
             volatile: zeroed_words(cfg.len_words),
@@ -159,7 +171,13 @@ impl Pool {
             accounting: cfg.obs.counters_enabled() || latency_enabled,
             stats: Stats::default(),
             unfenced: Mutex::new(HashMap::new()),
-        })
+            check: AtomicU8::new(0),
+            check_state: check::CheckState::default(),
+        });
+        if cfg.check.enabled() {
+            pool.set_check_level(cfg.check);
+        }
+        pool
     }
 
     /// Convenience: a fast-mode pool with its own crash controller.
@@ -214,6 +232,60 @@ impl Pool {
         self.persisted.is_some()
     }
 
+    /// Current persist-ordering check level.
+    #[inline]
+    pub fn check_level(&self) -> PmCheckLevel {
+        PmCheckLevel::from_u8(self.check.load(Ordering::Relaxed))
+    }
+
+    /// `check_level().enabled()`, as the single relaxed load the hot
+    /// paths gate on.
+    #[inline]
+    pub(crate) fn check_on(&self) -> bool {
+        self.check.load(Ordering::Relaxed) != 0
+    }
+
+    /// Raise or lower the persist-ordering check level at runtime (the
+    /// crash-sweep harness enables checking on pools it did not build).
+    ///
+    /// # Panics
+    /// Panics when enabling on a pool that is not in `Tracked` mode: the
+    /// detector's durability transitions are defined by the shadow image.
+    pub fn set_check_level(self: &Arc<Self>, level: PmCheckLevel) {
+        if level.enabled() {
+            assert!(
+                self.is_tracked(),
+                "PmCheckLevel::{level:?} requires PersistenceMode::Tracked"
+            );
+            check::register_pool(self);
+        }
+        self.check.store(level.to_u8(), Ordering::Release);
+    }
+
+    /// Drain the findings the dynamic detector has recorded on this pool.
+    pub fn take_check_findings(&self) -> Vec<check::Finding> {
+        std::mem::take(&mut *self.check_state.findings.lock().unwrap())
+    }
+
+    /// The per-line detector state table, allocated on first use.
+    pub(crate) fn check_table(&self) -> &[AtomicU64] {
+        self.check_state.table.get_or_init(|| {
+            check::new_table((self.volatile.len() as u64).div_ceil(CACHE_LINE_WORDS))
+        })
+    }
+
+    /// Record a finding; at [`PmCheckLevel::Panic`] a rule *violation*
+    /// aborts the caller (unless already unwinding).
+    pub(crate) fn record_finding(&self, finding: check::Finding) {
+        let panic_level = self.check_level() == PmCheckLevel::Panic;
+        let is_violation = finding.rule.is_violation();
+        let msg = finding.to_string();
+        self.check_state.findings.lock().unwrap().push(finding);
+        if panic_level && is_violation && !std::thread::panicking() {
+            panic!("pmcheck violation: {msg}");
+        }
+    }
+
     #[inline]
     fn charge(&self, spins: u32, off: u64) {
         if self.latency_enabled {
@@ -240,6 +312,9 @@ impl Pool {
         if self.accounting {
             self.account_word(Field::Reads, self.latency.read_spins, off);
         }
+        if self.check_on() {
+            check::on_read(self, off, 1);
+        }
         self.volatile[off as usize].load(Ordering::Acquire)
     }
 
@@ -260,6 +335,9 @@ impl Pool {
         self.crash.check();
         if self.accounting {
             self.account_slice(off, out.len() as u64);
+        }
+        if self.check_on() {
+            check::on_read(self, off, out.len() as u64);
         }
         for (i, slot) in out.iter_mut().enumerate() {
             *slot = self.volatile[off as usize + i].load(Ordering::Acquire);
@@ -293,6 +371,9 @@ impl Pool {
             }
         }
         self.volatile[off as usize].store(value, Ordering::Release);
+        if self.check_on() {
+            check::on_write(self, off);
+        }
         self.maybe_evict(off);
     }
 
@@ -315,6 +396,9 @@ impl Pool {
             if self.accounting && audit::armed() {
                 audit::note_write(self.id as u32, crate::line_of(off));
             }
+            if self.check_on() {
+                check::on_cas_success(self, off);
+            }
             self.maybe_evict(off);
         }
         r
@@ -331,6 +415,9 @@ impl Pool {
             }
         }
         let prev = self.volatile[off as usize].fetch_add(delta, Ordering::AcqRel);
+        if self.check_on() {
+            check::on_write(self, off);
+        }
         self.maybe_evict(off);
         prev
     }
@@ -366,6 +453,9 @@ impl Pool {
                     *self.unfenced.lock().unwrap().entry(line).or_insert(0) += 1;
                 }
             });
+        }
+        if self.check_on() {
+            check::on_flush(self, line);
         }
     }
 
@@ -489,6 +579,7 @@ impl Pool {
         let unfenced: HashSet<u64> = std::mem::take(&mut *self.unfenced.lock().unwrap())
             .into_keys()
             .collect();
+        let checking = self.check_on();
         let lines = (self.volatile.len() as u64).div_ceil(CACHE_LINE_WORDS);
         for line in 0..lines {
             let base = (line * CACHE_LINE_WORDS) as usize;
@@ -496,8 +587,12 @@ impl Pool {
             let dirty = (base..end).any(|w| {
                 self.volatile[w].load(Ordering::Acquire) != persisted[w].load(Ordering::Acquire)
             });
-            if dirty && plan.keeps(unfenced.contains(&line), self.id, line) {
+            let kept = dirty && plan.keeps(unfenced.contains(&line), self.id, line);
+            if kept {
                 self.persist_line_now(line);
+            }
+            if checking {
+                check::on_crash_line(self, line, dirty, kept);
             }
         }
         for w in 0..self.volatile.len() {
@@ -519,6 +614,12 @@ impl Pool {
                 persisted[w].store(self.volatile[w].load(Ordering::Acquire), Ordering::Release);
             }
         }
+        // A clean shutdown makes everything durable by definition.
+        if let Some(table) = self.check_state.table.get() {
+            for slot in table.iter() {
+                slot.store(0, Ordering::Release);
+            }
+        }
     }
 
     /// Read a word from the persisted image (test/analysis aid).
@@ -536,9 +637,23 @@ impl Pool {
 pub fn sfence() {
     PENDING.with(|p| {
         let mut pending = p.borrow_mut();
+        if pending.list.is_empty() {
+            // A fence covering zero pending flushes: PMD02 material.
+            check::on_empty_fence();
+            return;
+        }
+        // The epoch is allocated lazily: exactly one bump per fence that
+        // commits at least one line of a check-enabled pool.
+        let mut epoch = 0u64;
         for (pool, line) in pending.list.drain(..) {
             pool.persist_line_now(line);
             pool.registry_release(line);
+            if pool.check_on() {
+                if epoch == 0 {
+                    epoch = check::next_fence_epoch();
+                }
+                check::on_fence_commit(&pool, line, epoch);
+            }
         }
         pending.seen.clear();
     });
@@ -558,6 +673,7 @@ pub fn discard_pending() {
         }
         pending.seen.clear();
     });
+    check::clear_thread_dirty();
 }
 
 /// Forget the current thread's pending list *without* releasing the lines
@@ -571,6 +687,7 @@ pub(crate) fn crash_handoff_pending() {
         pending.list.clear();
         pending.seen.clear();
     });
+    check::clear_thread_dirty();
 }
 
 /// Number of distinct cache lines the current thread has flushed since its

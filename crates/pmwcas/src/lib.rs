@@ -176,8 +176,11 @@ impl DescriptorPool {
             }
             if v & DIRTY != 0 {
                 // Persist before use so no thread depends on a value that a
-                // power failure could revoke.
+                // power failure could revoke. Clearing the dirty bit is a
+                // volatile-intent optimization: losing the cleared bit only
+                // costs the next reader a redundant persist.
                 self.pool.persist(addr, 1);
+                let _exempt = pmem::exempt_scope("pmwcas-dirty-bit");
                 let _ = self.pool.cas(addr, v, v & !DIRTY);
                 continue;
             }
@@ -249,6 +252,7 @@ impl DescriptorPool {
                         }
                         Err(cur) if cur & DIRTY != 0 => {
                             self.pool.persist(addr, 1);
+                            let _exempt = pmem::exempt_scope("pmwcas-dirty-bit");
                             let _ = self.pool.cas(addr, cur, cur & !DIRTY);
                             continue;
                         }
@@ -275,6 +279,7 @@ impl DescriptorPool {
             let fin = if succeeded { new | DIRTY } else { old };
             if self.pool.cas(addr, ptr, fin).is_ok() {
                 self.pool.persist(addr, 1);
+                let _exempt = pmem::exempt_scope("pmwcas-dirty-bit");
                 let _ = self.pool.cas(addr, fin, fin & !DIRTY);
             }
         }

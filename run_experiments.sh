@@ -17,5 +17,6 @@ $T/throughput --workloads E,F --threads 1,2,4,8 --records 50000 --ops 60000 > $R
 $T/crash_test --structure bztree --trials 30 --threads 8 --keyspace 5000 --prepop 2000 --ops 8000 > $R/e9_bztree_crash.txt 2>>$R/e7.log
 $T/crash_test --structure pmdkskip --trials 30 --threads 8 --keyspace 5000 --prepop 2000 --ops 8000 > $R/e9_pmdkskip_crash.txt 2>>$R/e7.log || true
 $T/traversal --records 100000 --ops 200000 --threads 1,4 --batch 8,32,128 --json $R/BENCH_traversal.json > $R/e10_traversal.csv 2>$R/e10.log
-$T/metrics --records 50000 --ops 100000 --threads 4 --batch 32 --json $R/BENCH_metrics.json > $R/e11_metrics.csv 2>$R/e11.log
+$T/metrics --records 50000 --ops 100000 --threads 4 --batch 32 --guard --json $R/BENCH_metrics.json > $R/e11_metrics.csv 2>$R/e11.log
+$T/crash_sweep --smoke --pmcheck > $R/e12_pmcheck_sweep.txt 2>>$R/e12.log
 echo ALL_DONE
