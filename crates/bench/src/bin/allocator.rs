@@ -1,0 +1,146 @@
+//! E13 — allocation fast path: fences per insert with the per-thread
+//! lease magazine off vs on.
+//!
+//! The lease fast path replaces the per-pop persisted log (one fence),
+//! head-persist (one fence), and stamp-persist (one fence) with one
+//! `LOG_LEASE` + multi-pop + stamp sequence per `M` blocks, so an
+//! insert-heavy workload at `keys_per_node = 1` (every insert allocates a
+//! node) should spend ≥30 % fewer fences per insert.
+//!
+//! ```text
+//! cargo run --release -p bench --bin allocator -- \
+//!     --records 20000 --magazine 8 --json results/BENCH_allocator.json
+//! cargo run --release -p bench --bin allocator -- --smoke --gate   # CI
+//! ```
+//!
+//! `--gate` exits nonzero if the reduction falls under `--gate-ratio`
+//! (default 0.30) or if the magazine-off run regressed against itself
+//! being the plain Function-4 path (sanity: off-path fence count is
+//! reported for eyeballing, not gated).
+
+use std::sync::Arc;
+
+use bench::{build_upskiplist, Args, Deployment, UpSkipListOpts};
+use obs::report::MetricsReport;
+use obs::ObsLevel;
+use upskiplist::UpSkipList;
+
+/// splitmix64 — deterministic key shuffle without the rand crate.
+fn mix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+struct RunOut {
+    fences_per_insert: f64,
+    flushes_per_insert: f64,
+    leases: u64,
+    magazine_hits: u64,
+    fast: u64,
+    slow: u64,
+}
+
+/// Insert `records` distinct keys in a mixed order across `threads`
+/// registered threads; return per-insert pmem fence/flush costs.
+fn run_one(magazine: usize, records: u64, threads: usize) -> RunOut {
+    let d = Deployment {
+        obs: ObsLevel::Counters,
+        ..Deployment::simple(records)
+    };
+    let list: Arc<UpSkipList> = build_upskiplist(
+        &d,
+        UpSkipListOpts {
+            keys_per_node: 1,
+            magazine,
+            ..UpSkipListOpts::default()
+        },
+    );
+    let before = list.space().stats_snapshot();
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let list = Arc::clone(&list);
+            s.spawn(move || {
+                pmem::thread::register(t, 0);
+                let mut i = t as u64;
+                while i < records {
+                    // Distinct keys in shuffled order: every insert is a
+                    // fresh node at keys_per_node = 1.
+                    let key = mix64(i + 1) | 1;
+                    list.insert(key, i);
+                    i += threads as u64;
+                }
+            });
+        }
+    });
+    let after = list.space().stats_snapshot();
+    let m = list.struct_metrics();
+    RunOut {
+        fences_per_insert: (after.fences - before.fences) as f64 / records as f64,
+        flushes_per_insert: (after.flushes - before.flushes) as f64 / records as f64,
+        leases: m.alloc.leases,
+        magazine_hits: m.alloc.magazine_hits,
+        fast: m.alloc.fast_allocs,
+        slow: m.alloc.slow_allocs,
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let smoke = args.flag("smoke");
+    let records = args.u64("records", if smoke { 8_000 } else { 50_000 });
+    let threads = args.usize("threads", if smoke { 2 } else { 4 });
+    let magazine = args.usize("magazine", 8);
+    let gate = args.flag("gate");
+    let gate_ratio: f64 = args
+        .get("gate-ratio")
+        .map(|v| v.parse().expect("--gate-ratio must be a float"))
+        .unwrap_or(0.30);
+
+    let mut report = MetricsReport::new("allocator");
+    report.meta("records", records.to_string());
+    report.meta("threads", threads.to_string());
+    report.meta("magazine", magazine.to_string());
+
+    let off = run_one(0, records, threads);
+    let on = run_one(magazine, records, threads);
+
+    for (name, r) in [("magazine_off", &off), ("magazine_on", &on)] {
+        report.push(name, "insert", "fences_per_insert", r.fences_per_insert);
+        report.push(name, "insert", "flushes_per_insert", r.flushes_per_insert);
+        report.push(name, "alloc", "leases", r.leases as f64);
+        report.push(name, "alloc", "magazine_hits", r.magazine_hits as f64);
+        report.push(name, "alloc", "fast_allocs", r.fast as f64);
+        report.push(name, "alloc", "slow_allocs", r.slow as f64);
+        eprintln!(
+            "{name}: {:.3} fences/insert, {:.3} flushes/insert \
+             (leases {}, magazine hits {}, fast {}, slow {})",
+            r.fences_per_insert, r.flushes_per_insert, r.leases, r.magazine_hits, r.fast, r.slow
+        );
+    }
+    let reduction = 1.0 - on.fences_per_insert / off.fences_per_insert;
+    report.push("magazine_on", "insert", "fence_reduction", reduction);
+    eprintln!(
+        "allocator: magazine {magazine} cuts fences per insert by {:.1} % \
+         ({:.3} -> {:.3})",
+        reduction * 100.0,
+        off.fences_per_insert,
+        on.fences_per_insert
+    );
+
+    print!("{}", report.to_csv());
+    if let Some(path) = args.get("json") {
+        bench::metrics::write_report(&report, path);
+    }
+    if let Some(path) = args.get("csv") {
+        bench::metrics::write_report(&report, path);
+    }
+
+    if gate && reduction < gate_ratio {
+        eprintln!(
+            "allocator: FAIL — fence reduction {:.3} under the {gate_ratio} gate",
+            reduction
+        );
+        std::process::exit(1);
+    }
+}

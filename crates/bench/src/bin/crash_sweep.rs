@@ -31,7 +31,7 @@ fn main() {
     let ops = args.u64("ops", if smoke { 32 } else { 48 });
     let nested = !args.flag("no-nested");
     let pmcheck = args.flag("pmcheck");
-    let structures = args.list("structures", "upskiplist,pmalloc,pmwcas,pmemtx");
+    let structures = args.list("structures", "upskiplist,pmalloc,pmalloc-mag,pmwcas,pmemtx");
 
     let cfg = SweepConfig {
         points,
@@ -57,6 +57,13 @@ fn main() {
         let out = match s.as_str() {
             "upskiplist" => sweep("upskiplist", &|seed| SkipListSubject::new(seed, ops), &cfg),
             "pmalloc" => sweep("pmalloc", &|seed| AllocSubject::new(seed, ops), &cfg),
+            // Lease fast path on: crash points land inside lease
+            // acquisition, mid-magazine runs, and outbox flushes.
+            "pmalloc-mag" => sweep(
+                "pmalloc-mag",
+                &|seed| AllocSubject::with_magazine(seed, ops),
+                &cfg,
+            ),
             "pmwcas" => sweep("pmwcas", &|seed| PmwcasSubject::new(seed, ops / 2), &cfg),
             "pmemtx" => sweep("pmemtx", &|seed| TxSubject::new(seed, ops / 2), &cfg),
             other => {

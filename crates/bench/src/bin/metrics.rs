@@ -110,7 +110,9 @@ fn baseline_mixed_mops(path: &str, structure: &str) -> Option<f64> {
     let text = std::fs::read_to_string(path).ok()?;
     let at = text.find(&format!("\"{structure}\""))?;
     let rest = &text[at..];
-    let v = rest.find("\"mixed_mops\":").map(|i| i + "\"mixed_mops\":".len())?;
+    let v = rest
+        .find("\"mixed_mops\":")
+        .map(|i| i + "\"mixed_mops\":".len())?;
     let tail = rest[v..].trim_start();
     let end = tail
         .find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())
@@ -136,7 +138,9 @@ fn main() {
     // Read the baseline up front: the same invocation may rewrite the
     // baseline file via --json, and the guard must compare against the
     // pre-run numbers, not its own output.
-    let guard_base = guard.then(|| baseline_mixed_mops(baseline_path, "upskiplist")).flatten();
+    let guard_base = guard
+        .then(|| baseline_mixed_mops(baseline_path, "upskiplist"))
+        .flatten();
     let mut guard_mops: Option<f64> = None;
 
     let mut report = MetricsReport::new("metrics");
@@ -224,8 +228,8 @@ fn main() {
     }
 
     if guard {
-        let current = guard_mops
-            .expect("--guard needs upskiplist in --structures to measure Off-level cost");
+        let current =
+            guard_mops.expect("--guard needs upskiplist in --structures to measure Off-level cost");
         match guard_base {
             Some(base) => {
                 let floor = base * guard_ratio;

@@ -165,6 +165,9 @@ pub struct UpSkipListOpts {
     pub fingers: bool,
     /// Random write-back: evict one in N dirty lines (0 = off).
     pub evict_one_in: u32,
+    /// Per-thread allocator magazine capacity (0 = one persisted log per
+    /// pop; the allocator experiment sweeps this on/off).
+    pub magazine: usize,
 }
 
 impl Default for UpSkipListOpts {
@@ -174,6 +177,7 @@ impl Default for UpSkipListOpts {
             sorted_lookups: false,
             fingers: true,
             evict_one_in: 0,
+            magazine: 8,
         }
     }
 }
@@ -193,7 +197,9 @@ pub fn build_upskiplist(d: &Deployment, opts: UpSkipListOpts) -> Arc<UpSkipList>
     let mut cfg = sized_config(d, opts.keys_per_node);
     cfg.sorted_lookups = opts.sorted_lookups;
     cfg.fingers = opts.fingers;
-    sized_builder(d, cfg, opts.evict_one_in).create()
+    let mut b = sized_builder(d, cfg, opts.evict_one_in);
+    b.magazine = opts.magazine;
+    b.create()
 }
 
 /// Tower height sized to the expected node count (the thesis tunes its
@@ -226,6 +232,7 @@ fn sized_builder(d: &Deployment, cfg: ListConfig, evict_one_in: u32) -> ListBuil
         evict_one_in,
         num_arenas: 8,
         blocks_per_chunk,
+        magazine: UpSkipListOpts::default().magazine,
         obs: d.obs,
         check: pmem::PmCheckLevel::Off,
     }

@@ -80,7 +80,7 @@ pub fn push_struct_rows(
     structure: &str,
     m: &upskiplist::StructMetricsSnapshot,
 ) {
-    let rows: [(&str, u64); 9] = [
+    let rows: [(&str, u64); 15] = [
         ("cas_retries", m.cas_retries),
         ("lock_waits", m.lock_waits),
         ("node_splits", m.node_splits),
@@ -88,8 +88,14 @@ pub fn push_struct_rows(
         ("finger_misses", m.finger_misses),
         ("compactions", m.compactions),
         ("nodes_reclaimed", m.nodes_reclaimed),
-        ("alloc_fast_path", m.alloc_fast),
-        ("alloc_slow_path", m.alloc_slow),
+        ("alloc_fast_path", m.alloc.fast_allocs),
+        ("alloc_slow_path", m.alloc.slow_allocs),
+        ("alloc_magazine_hits", m.alloc.magazine_hits),
+        ("alloc_leases", m.alloc.leases),
+        ("alloc_lease_blocks", m.alloc.lease_blocks),
+        ("alloc_outbox_flushes", m.alloc.outbox_flushes),
+        ("alloc_outbox_blocks", m.alloc.outbox_blocks),
+        ("alloc_heals", m.alloc.heals),
     ];
     for (metric, v) in rows {
         report.push(structure, "struct", metric, v as f64);

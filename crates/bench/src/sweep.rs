@@ -36,7 +36,9 @@ use std::sync::Arc;
 
 use lincheck::{minimize_crash_point, ReproTuple};
 use pmem::pool::PoolConfig;
-use pmem::{run_crashable, CrashController, CrashPlan, ObsLevel, PersistenceMode, PmCheckLevel, Pool};
+use pmem::{
+    run_crashable, CrashController, CrashPlan, ObsLevel, PersistenceMode, PmCheckLevel, Pool,
+};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use riv::RivPtr;
 use upskiplist::{ListBuilder, ListConfig, UpSkipList};
@@ -184,7 +186,18 @@ pub struct AllocSubject {
 
 impl AllocSubject {
     pub fn new(seed: u64, ops: u64) -> Self {
-        let cfg = pmalloc::AllocConfig::small();
+        Self::build(seed, ops, pmalloc::AllocConfig::small())
+    }
+
+    /// The lease fast path under crash injection: the same workload runs
+    /// through the per-thread magazine and free outbox, so evenly spread
+    /// crash points land inside lease acquisition (log write, multi-pop
+    /// CAS, stamping), mid-magazine (between leases), and outbox flushes.
+    pub fn with_magazine(seed: u64, ops: u64) -> Self {
+        Self::build(seed, ops, pmalloc::AllocConfig::small_magazine(8))
+    }
+
+    fn build(seed: u64, ops: u64, cfg: pmalloc::AllocConfig) -> Self {
         let layout = pmalloc::PoolLayout::for_config(&cfg);
         let words = layout.required_pool_words(&cfg, cfg.max_chunks as u64);
         let pool = Pool::new(PoolConfig::tracked(words), Arc::new(CrashController::new()));
@@ -225,7 +238,9 @@ impl CrashSubject for AllocSubject {
             } else {
                 let idx = rng.gen_range(0..self.held.len());
                 let b = self.held.swap_remove(idx);
-                self.alloc.free(self.epoch, 0, b);
+                // With the magazine configured this batches through the
+                // outbox; with it off it is the eager free.
+                self.alloc.free_deferred(self.epoch, 0, b);
             }
         }
     }
@@ -236,6 +251,10 @@ impl CrashSubject for AllocSubject {
         // validated on the owning thread's next allocation — so drive one
         // alloc/free in the new epoch to force replay. Each retry after a
         // nested crash bumps the epoch again, exactly like a re-restart.
+        // The crash also destroyed DRAM: discard magazines and outboxes
+        // (their blocks are reclaimed by stale-lease validation or leak
+        // within the documented bound).
+        self.alloc.discard_thread_caches();
         self.held.clear();
         self.epoch += 1;
         let b = self
@@ -245,6 +264,10 @@ impl CrashSubject for AllocSubject {
     }
 
     fn verify(&mut self) {
+        // Return any magazine/outbox blocks the recovery allocs parked in
+        // DRAM so the free-list walk (and the listed-block assertion on the
+        // probe alloc below) sees every reachable block.
+        self.alloc.drain_thread_cache(self.epoch);
         // Walk every arena free list by hand: bounded, acyclic, no block
         // linked twice (a double link would hand one block to two callers),
         // and every listed block marked KIND_FREE.
@@ -744,6 +767,19 @@ mod tests {
     }
 
     #[test]
+    fn pmalloc_magazine_sweep_smoke() {
+        pmem::crash::silence_crash_panics();
+        let cfg = quick();
+        let ops = cfg.ops;
+        let out = sweep(
+            "pmalloc-mag",
+            &|seed| AllocSubject::with_magazine(seed, ops),
+            &cfg,
+        );
+        assert!(out.failures.is_empty(), "{:?}", out.failures);
+    }
+
+    #[test]
     fn pmwcas_sweep_smoke() {
         pmem::crash::silence_crash_panics();
         let cfg = quick();
@@ -771,6 +807,11 @@ mod tests {
         let outs = [
             sweep("upskiplist", &|seed| SkipListSubject::new(seed, ops), &cfg),
             sweep("pmalloc", &|seed| AllocSubject::new(seed, ops), &cfg),
+            sweep(
+                "pmalloc-mag",
+                &|seed| AllocSubject::with_magazine(seed, ops),
+                &cfg,
+            ),
             sweep("pmwcas", &|seed| PmwcasSubject::new(seed, 12), &cfg),
             sweep("pmemtx", &|seed| TxSubject::new(seed, 12), &cfg),
         ];

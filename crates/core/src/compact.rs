@@ -76,7 +76,7 @@ impl UpSkipList {
                         self.space().persist(slot, 1);
                     }
                 }
-                self.alloc.free(epoch, self.local_pool(), cur);
+                self.alloc.free_deferred(epoch, self.local_pool(), cur);
                 reclaimed += 1;
                 // `pred` is unchanged; re-read its successor.
                 cur = self.next(pred, 0);
@@ -114,10 +114,16 @@ mod tests {
         for k in 20..=60u64 {
             l.remove(k);
         }
+        // Drain the insert phase's magazine so the baseline below counts
+        // only list-visible free blocks.
+        l.allocator().drain_all(l.epoch());
         let free_before = l.allocator().count_free_all(0);
         let reclaimed = l.compact();
         assert!(reclaimed > 0, "a 41-key hole must empty some 4-key nodes");
         assert_eq!(l.node_count(), nodes_before - reclaimed);
+        // Reclaimed blocks batch through the free outbox; drain it so the
+        // free-list count reflects them.
+        l.allocator().drain_all(l.epoch());
         assert_eq!(
             l.allocator().count_free_all(0),
             free_before + reclaimed,

@@ -64,6 +64,10 @@ pub struct ListBuilder {
     pub num_arenas: usize,
     /// Blocks carved per chunk (the thesis uses 4 MiB chunks).
     pub blocks_per_chunk: u64,
+    /// Per-thread DRAM magazine capacity for the allocator's lease fast
+    /// path (0 = one persisted log per pop, the thesis's Function 4).
+    /// Clamped to [`pmalloc::LEASE_MAX_BLOCKS`].
+    pub magazine: usize,
     /// Observability level for the pools and the structure counters
     /// (`Off` for throughput benchmarks — the counters are shared atomics).
     pub obs: ObsLevel,
@@ -84,6 +88,7 @@ impl Default for ListBuilder {
             evict_one_in: 0,
             num_arenas: 4,
             blocks_per_chunk: 64,
+            magazine: 8,
             obs: ObsLevel::Counters,
             check: PmCheckLevel::Off,
         }
@@ -120,6 +125,7 @@ impl ListBuilder {
             num_arenas: self.num_arenas,
             max_chunks: u16::MAX,
             root_words: ROOT_WORDS,
+            magazine: self.magazine.min(pmalloc::LEASE_MAX_BLOCKS),
         }
     }
 
@@ -225,6 +231,7 @@ impl UpSkipList {
             "pool 0 holds no UPSkipList root"
         );
         alloc.space().invalidate_caches();
+        alloc.discard_thread_caches();
         let cfg = ListConfig::unpack(pool0.read(ROOT_CONFIG));
         let epoch = pool0.read(ROOT_EPOCH) + 1;
         pool0.write(ROOT_EPOCH, epoch);
@@ -247,6 +254,9 @@ impl UpSkipList {
     /// drop DRAM caches and begin a new epoch.
     pub fn recover(&self) {
         self.space().invalidate_caches();
+        // The crash destroyed DRAM: magazines and outboxes are gone, not
+        // drained — stale lease logs reclaim the magazine blocks lazily.
+        self.alloc.discard_thread_caches();
         let pool0 = self.space().pool(0);
         let epoch = pool0.read(ROOT_EPOCH) + 1;
         pool0.write(ROOT_EPOCH, epoch);
@@ -256,8 +266,11 @@ impl UpSkipList {
         self.epoch.store(epoch, Ordering::SeqCst);
     }
 
-    /// Mark a clean shutdown (flushes everything in tracked pools).
+    /// Mark a clean shutdown (flushes everything in tracked pools). Drains
+    /// every thread's magazine and free outbox first so no block is lost to
+    /// a DRAM cache; callers must have quiesced all worker threads.
     pub fn close(&self) {
+        self.alloc.drain_all(self.epoch());
         let pool0 = Arc::clone(self.space().pool(0));
         pool0.write(ROOT_CLEAN, 1);
         pool0.persist(ROOT_CLEAN, 1);
@@ -296,10 +309,12 @@ impl UpSkipList {
 
     /// Structure-level counters: CAS retries, lock waits, splits, finger
     /// hits/misses, compactions, hops per level, plus the allocator's
-    /// fast/slow path hits.
+    /// path counters (fast/slow pops, magazine hits, leases, outbox
+    /// batches, heals). Also syncs the registry's `alloc.*` mirrors.
     pub fn struct_metrics(&self) -> StructMetricsSnapshot {
         let mut s = self.stats.snapshot();
-        (s.alloc_fast, s.alloc_slow) = self.alloc.alloc_path_hits();
+        s.alloc = self.alloc.counters();
+        self.stats.sync_alloc(&s.alloc);
         s
     }
 
@@ -459,5 +474,32 @@ impl Reachability for UpSkipList {
 
     fn node_first_key(&self, block: RivPtr) -> u64 {
         self.key0(block)
+    }
+
+    /// Lease-log validation: is `block` the linked node owning `key`?
+    /// A read-only level descent from the head — no fingers, no locks, no
+    /// structure counters — so stale-lease recovery costs O(log n) per
+    /// listed block instead of the default bottom-level walk.
+    fn is_linked(&self, key: u64, block: RivPtr) -> bool {
+        let mut cur = self.head;
+        for level in (0..self.cfg.max_height).rev() {
+            loop {
+                let nxt = self.next(cur, level);
+                if nxt.is_null() || nxt == self.tail {
+                    break;
+                }
+                let k = self.key0(nxt);
+                if k > key {
+                    break;
+                }
+                // Linked at any level implies the bottom-level link-in
+                // (the commit point) completed: levels link bottom-up.
+                if nxt == block && k == key {
+                    return true;
+                }
+                cur = nxt;
+            }
+        }
+        cur == block && self.key0(cur) == key
     }
 }

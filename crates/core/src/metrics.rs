@@ -12,8 +12,36 @@
 use std::sync::Arc;
 
 use obs::{Counter, ObsLevel, Registry};
+use pmalloc::AllocCounters;
 
 use crate::config::MAX_HEIGHT;
+
+/// Registry names for the allocator path counters mirrored into the list's
+/// registry, in [`AllocCounters`] field order (see `alloc_counter_values`).
+const ALLOC_COUNTER_NAMES: [&str; 8] = [
+    "alloc.fast",
+    "alloc.slow",
+    "alloc.magazine_hits",
+    "alloc.leases",
+    "alloc.lease_blocks",
+    "alloc.outbox_flushes",
+    "alloc.outbox_blocks",
+    "alloc.heals",
+];
+
+/// [`AllocCounters`] field values in [`ALLOC_COUNTER_NAMES`] order.
+fn alloc_counter_values(c: &AllocCounters) -> [u64; 8] {
+    [
+        c.fast_allocs,
+        c.slow_allocs,
+        c.magazine_hits,
+        c.leases,
+        c.lease_blocks,
+        c.outbox_flushes,
+        c.outbox_blocks,
+        c.heals,
+    ]
+}
 
 /// Pre-resolved counter handles for the list's hot paths.
 pub struct StructStats {
@@ -40,6 +68,9 @@ pub struct StructStats {
     pub(crate) nodes_reclaimed: Arc<Counter>,
     /// List-pointer hops taken at each level during traversals.
     pub(crate) hops: [Arc<Counter>; MAX_HEIGHT],
+    /// Mirrors of the allocator path counters (`alloc.*` names), updated by
+    /// [`StructStats::sync_alloc`] so registry snapshots include them.
+    alloc_mirror: [Arc<Counter>; 8],
 }
 
 impl std::fmt::Debug for StructStats {
@@ -65,6 +96,7 @@ impl StructStats {
             compactions: registry.counter("list.compactions"),
             nodes_reclaimed: registry.counter("list.nodes_reclaimed"),
             hops: std::array::from_fn(|l| registry.counter(&format!("list.hops.l{l:02}"))),
+            alloc_mirror: ALLOC_COUNTER_NAMES.map(|n| registry.counter(n)),
             registry,
         }
     }
@@ -147,6 +179,20 @@ impl StructStats {
         }
     }
 
+    /// Bring the registry's `alloc.*` mirror counters up to the allocator's
+    /// current values. Registry counters are monotonic, so the mirror adds
+    /// the delta since the last sync; concurrent syncs can transiently
+    /// over-add, which is fine for the single reporting thread the
+    /// registry-snapshot path assumes.
+    pub(crate) fn sync_alloc(&self, c: &AllocCounters) {
+        for (ctr, target) in self.alloc_mirror.iter().zip(alloc_counter_values(c)) {
+            let cur = ctr.value();
+            if target > cur {
+                ctr.add(target - cur);
+            }
+        }
+    }
+
     /// A plain-struct snapshot of the structure counters (the registry
     /// remains the source of truth; this is a convenience for reports).
     pub fn snapshot(&self) -> StructMetricsSnapshot {
@@ -159,8 +205,7 @@ impl StructStats {
             compactions: self.compactions.value(),
             nodes_reclaimed: self.nodes_reclaimed.value(),
             hops_per_level: std::array::from_fn(|l| self.hops[l].value()),
-            alloc_fast: 0,
-            alloc_slow: 0,
+            alloc: AllocCounters::default(),
         }
     }
 }
@@ -176,12 +221,10 @@ pub struct StructMetricsSnapshot {
     pub compactions: u64,
     pub nodes_reclaimed: u64,
     pub hops_per_level: [u64; MAX_HEIGHT],
-    /// Allocator fast-path hits (free-list pop with no chunk provisioning);
-    /// filled in by `UpSkipList::struct_metrics`, zero from
-    /// [`StructStats::snapshot`].
-    pub alloc_fast: u64,
-    /// Allocator slow-path hits (had to carve a new chunk).
-    pub alloc_slow: u64,
+    /// Allocator path counters (fast/slow pops, magazine hits, leases,
+    /// outbox batches, heals); filled in by `UpSkipList::struct_metrics`,
+    /// zero from [`StructStats::snapshot`].
+    pub alloc: AllocCounters,
 }
 
 impl StructMetricsSnapshot {
@@ -197,8 +240,16 @@ impl StructMetricsSnapshot {
             hops_per_level: std::array::from_fn(|l| {
                 self.hops_per_level[l] - earlier.hops_per_level[l]
             }),
-            alloc_fast: self.alloc_fast - earlier.alloc_fast,
-            alloc_slow: self.alloc_slow - earlier.alloc_slow,
+            alloc: AllocCounters {
+                fast_allocs: self.alloc.fast_allocs - earlier.alloc.fast_allocs,
+                slow_allocs: self.alloc.slow_allocs - earlier.alloc.slow_allocs,
+                magazine_hits: self.alloc.magazine_hits - earlier.alloc.magazine_hits,
+                leases: self.alloc.leases - earlier.alloc.leases,
+                lease_blocks: self.alloc.lease_blocks - earlier.alloc.lease_blocks,
+                outbox_flushes: self.alloc.outbox_flushes - earlier.alloc.outbox_flushes,
+                outbox_blocks: self.alloc.outbox_blocks - earlier.alloc.outbox_blocks,
+                heals: self.alloc.heals - earlier.alloc.heals,
+            },
         }
     }
 

@@ -253,9 +253,11 @@ impl UpSkipList {
             )
             .is_err()
         {
-            // Lost the race; return the block (Function 15 line 194).
+            // Lost the race; return the block (Function 15 line 194) via
+            // the outbox so the retry's re-alloc stays on the fast path.
             self.stats.cas_retry();
-            self.alloc.free(self.epoch(), self.local_pool(), block);
+            self.alloc
+                .free_deferred(self.epoch(), self.local_pool(), block);
             return false;
         }
         self.space()
@@ -467,7 +469,8 @@ impl UpSkipList {
             .is_err()
         {
             self.stats.cas_retry();
-            self.alloc.free(self.epoch(), self.local_pool(), block);
+            self.alloc
+                .free_deferred(self.epoch(), self.local_pool(), block);
             rwlock::write_unlock(self.space(), node);
             return;
         }

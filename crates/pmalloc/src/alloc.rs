@@ -1,4 +1,5 @@
-//! The recoverable block allocator (thesis §4.3.2–4.3.3, Functions 4–6).
+//! The recoverable block allocator (thesis §4.3.2–4.3.3, Functions 4–6),
+//! extended with a **leased-magazine fast path**.
 //!
 //! * **Coarse grain**: chunks are reserved from each pool's data region by a
 //!   single monotonic counter, so a chunk id alone identifies its region and
@@ -9,27 +10,61 @@
 //!   at the tail (Functions 5–6). Blocks reference each other with RIV
 //!   pointers, so a free list on one NUMA node may contain blocks homed on
 //!   another — exactly what cross-node deallocation needs (§4.3.3).
-//! * **Recovery**: every pop/provisioning is preceded by a persisted
+//! * **Lease fast path** (`AllocConfig::magazine > 0`): instead of paying
+//!   one persisted log + one shared CAS + one block persist *per
+//!   allocation*, a thread claims up to M blocks with **one** persisted
+//!   `LOG_LEASE` entry and **one** multi-pop CAS that jumps the arena head
+//!   over the whole claimed prefix. The claimed blocks are stamped
+//!   RAW/POPPED under a single fence and parked in a DRAM thread-local
+//!   *magazine*; subsequent `alloc()` calls are served from the magazine
+//!   with zero pmem writes, zero fences, and zero shared CAS. Frees batch
+//!   symmetrically: [`Allocator::free_deferred`] de-initializes the block
+//!   and writes its lines back immediately (no fence), parks it in a DRAM
+//!   *outbox*, and on flush chains the whole batch with one fence plus one
+//!   `LinkInTail`. Arena selection on the lease path is NUMA-aware: the
+//!   thread prefers an arena whose head block `Placement::owner_node` homes
+//!   on its own node, falling back to its hashed arena (stealing).
+//! * **Recovery**: every pop/lease/provisioning is preceded by a persisted
 //!   per-thread log; a log left over from a previous failure-free epoch is
-//!   validated on the thread's next allocation and any unreachable memory is
-//!   returned to a free list (deferred recovery, §4.1.4).
+//!   validated on the thread's next allocation and any unreachable memory
+//!   is returned to a free list (deferred recovery, §4.1.4). A stale lease
+//!   log is validated block-by-block via [`Reachability::is_linked`]: each
+//!   listed block is either linked into the structure (keep), back on a
+//!   free list (skip), or an orphan (reclaim) — O(k·M) for k crashed
+//!   threads, still independent of structure size. Leases are only
+//!   acquired with an empty magazine, so the thread's previous lease (and
+//!   every block it handed out) is fully resolved before its log slot is
+//!   overwritten.
 //!
 //! ### Known windows (shared with the thesis's algorithm)
 //!
-//! The head pop is Function 4's single-word CAS and therefore inherits the
-//! classic free-list ABA window (a stalled thread can mis-pop if the same
-//! block cycles head → allocated → freed → head while it sleeps); frees are
-//! rare (failed link-ins and crash cleanup), matching the thesis's usage.
-//! A crash in the handful of instructions between a successful pop CAS and
-//! the RAW-marking of the block can leak at most one block per thread.
+//! The head pop — single or multi — is Function 4's single-word CAS and
+//! therefore inherits the classic free-list ABA window: a stalled thread
+//! can mis-pop if the same block cycles head → allocated → freed → head
+//! while it sleeps. Both pop paths now *guard* the window's aftermath:
+//! a candidate must still be `KIND_FREE` with a live successor, and a head
+//! slot that persistently names a block that already left the list is
+//! **self-healed** by swinging the head to a freshly carved chunk (the
+//! untrustworthy suffix is abandoned — a bounded, deliberate leak in an
+//! already-corrupt state; see [`AllocCounters::heals`]). The guard's
+//! re-read discipline shrinks, but cannot close, the underlying window;
+//! frees are rare (failed link-ins and crash cleanup), matching the
+//! thesis's usage.
+//!
+//! Crash-leak bounds: a crash between a durable (multi-)pop CAS and the
+//! stamping fence can leak at most M blocks per thread (M = 1 without the
+//! magazine); a crash while an outbox holds de-initialized blocks leaks at
+//! most M more. Both are reclaimed only by a full reformat, mirroring the
+//! thesis's own bounded-leak stance.
 
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Mutex};
 
-use pmem::thread;
+use pmem::{thread, Placement, MAX_THREADS};
 use riv::{RivPtr, RivSpace};
 
 use crate::blocks::*;
-use crate::layout::{AllocConfig, PoolLayout, META_NEXT_CHUNK};
+use crate::layout::{AllocConfig, PoolLayout, LEASE_MAX_BLOCKS, META_NEXT_CHUNK};
 use crate::log::{read_log, write_log, LogEntry};
 
 /// Client-provided navigation used to validate stale allocation logs: the
@@ -44,6 +79,56 @@ pub trait Reachability: Sync {
     /// to distinguish "our interrupted insert" from "block reallocated by a
     /// different thread" (§4.3.3 "additional metadata in the log entry").
     fn node_first_key(&self, block: RivPtr) -> u64;
+
+    /// Lease-log validation: is `block` linked into the structure as the
+    /// node holding `key`? Unlike [`Reachability::is_reachable`] there is
+    /// no logged predecessor to start from (a lease log names blocks, not
+    /// insert positions), so implementations should run a self-contained
+    /// read-only search. The default delegates to `is_reachable` from a
+    /// null predecessor.
+    fn is_linked(&self, key: u64, block: RivPtr) -> bool {
+        self.is_reachable(RivPtr::NULL, key, block)
+    }
+}
+
+/// DRAM-only snapshot of the allocator's path counters (reset on restart).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AllocCounters {
+    /// Allocations served by popping an arena free list directly (the one
+    /// block a lease hands straight back counts here too).
+    pub fast_allocs: u64,
+    /// Allocations whose path had to provision (carve) a new chunk first.
+    pub slow_allocs: u64,
+    /// Allocations served from the DRAM magazine: no pmem op at all.
+    pub magazine_hits: u64,
+    /// Lease acquisitions (one persisted log + one multi-pop CAS each).
+    pub leases: u64,
+    /// Total blocks claimed across all leases.
+    pub lease_blocks: u64,
+    /// Outbox flushes (one fence + one `LinkInTail` each).
+    pub outbox_flushes: u64,
+    /// Total blocks returned through outbox flushes.
+    pub outbox_blocks: u64,
+    /// Corrupt-head self-heals (see module docs "Known windows").
+    pub heals: u64,
+}
+
+/// Per-thread DRAM state for the lease fast path. Blocks in `magazine` are
+/// claimed by a persisted lease log; blocks in `outbox` are de-initialized
+/// and written back but not yet linked into a free list.
+#[derive(Default)]
+struct ThreadCache {
+    /// Epoch the current magazine lease was taken in (0 = none).
+    lease_epoch: u64,
+    /// Pool the current magazine lease was taken from.
+    lease_pool: u16,
+    /// Unconsumed leased blocks, served LIFO with zero pmem traffic.
+    magazine: Vec<RivPtr>,
+    /// De-initialized blocks awaiting one batched `LinkInTail`.
+    outbox: Vec<RivPtr>,
+    outbox_epoch: u64,
+    outbox_pool: u16,
+    outbox_arena: usize,
 }
 
 /// The allocator. Cheap to clone handles around via `Arc`.
@@ -51,10 +136,17 @@ pub struct Allocator {
     space: Arc<RivSpace>,
     cfg: AllocConfig,
     layout: PoolLayout,
-    /// Allocations served straight off an arena free list.
-    fast_allocs: std::sync::atomic::AtomicU64,
-    /// Allocations that had to provision (carve) a new chunk first.
-    slow_allocs: std::sync::atomic::AtomicU64,
+    /// One slot per dense thread id; the Mutex is uncontended in normal
+    /// operation (only [`Allocator::drain_all`] crosses threads).
+    caches: Vec<Mutex<ThreadCache>>,
+    fast_allocs: AtomicU64,
+    slow_allocs: AtomicU64,
+    magazine_hits: AtomicU64,
+    leases: AtomicU64,
+    lease_blocks: AtomicU64,
+    outbox_flushes: AtomicU64,
+    outbox_blocks: AtomicU64,
+    heals: AtomicU64,
 }
 
 impl std::fmt::Debug for Allocator {
@@ -75,13 +167,24 @@ impl Allocator {
             "each arena needs at least one block per chunk"
         );
         assert!(cfg.block_words > BLK_CLIENT, "blocks must fit their header");
+        assert!(
+            cfg.magazine <= LEASE_MAX_BLOCKS,
+            "magazine capacity exceeds one log slot (LEASE_MAX_BLOCKS)"
+        );
         let layout = PoolLayout::for_config(&cfg);
         Self {
             space,
             cfg,
             layout,
-            fast_allocs: std::sync::atomic::AtomicU64::new(0),
-            slow_allocs: std::sync::atomic::AtomicU64::new(0),
+            caches: (0..MAX_THREADS).map(|_| Mutex::default()).collect(),
+            fast_allocs: AtomicU64::new(0),
+            slow_allocs: AtomicU64::new(0),
+            magazine_hits: AtomicU64::new(0),
+            leases: AtomicU64::new(0),
+            lease_blocks: AtomicU64::new(0),
+            outbox_flushes: AtomicU64::new(0),
+            outbox_blocks: AtomicU64::new(0),
+            heals: AtomicU64::new(0),
         }
     }
 
@@ -89,11 +192,49 @@ impl Allocator {
     /// an arena free list directly, `slow` had to provision a fresh chunk
     /// first. DRAM-only diagnostics (reset on restart).
     pub fn alloc_path_hits(&self) -> (u64, u64) {
-        use std::sync::atomic::Ordering::Relaxed;
         (
             self.fast_allocs.load(Relaxed),
             self.slow_allocs.load(Relaxed),
         )
+    }
+
+    /// Snapshot of every allocator path counter.
+    pub fn counters(&self) -> AllocCounters {
+        AllocCounters {
+            fast_allocs: self.fast_allocs.load(Relaxed),
+            slow_allocs: self.slow_allocs.load(Relaxed),
+            magazine_hits: self.magazine_hits.load(Relaxed),
+            leases: self.leases.load(Relaxed),
+            lease_blocks: self.lease_blocks.load(Relaxed),
+            outbox_flushes: self.outbox_flushes.load(Relaxed),
+            outbox_blocks: self.outbox_blocks.load(Relaxed),
+            heals: self.heals.load(Relaxed),
+        }
+    }
+
+    /// Lock a thread-cache slot, tolerating poison: a simulated-crash
+    /// unwind mid-operation poisons the mutex, and the cache contents are
+    /// discarded on recovery anyway, so poisoning carries no information.
+    fn cache(&self, id: usize) -> std::sync::MutexGuard<'_, ThreadCache> {
+        self.caches[id]
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Discard every thread's DRAM cache without touching pmem — the
+    /// in-process analogue of a power failure destroying DRAM. Magazine
+    /// blocks stay claimed by their (now stale) lease logs and are
+    /// reclaimed at the next validation; un-flushed outbox blocks leak
+    /// within the documented per-thread bound. Crash-recovery paths call
+    /// this; clean shutdown uses [`Allocator::drain_all`] instead.
+    pub fn discard_thread_caches(&self) {
+        for slot in self.caches.iter() {
+            slot.clear_poison();
+            let mut cache = slot
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            *cache = ThreadCache::default();
+        }
     }
 
     #[inline]
@@ -109,6 +250,15 @@ impl Allocator {
     #[inline]
     pub fn layout(&self) -> &PoolLayout {
         &self.layout
+    }
+
+    /// The pool homed on the calling thread's NUMA node (clamped to the
+    /// pools that actually exist).
+    #[inline]
+    fn home_pool(&self) -> u16 {
+        thread::current()
+            .numa_node
+            .min(self.space.pools().len() as u16 - 1)
     }
 
     /// One-time, single-threaded initialization of every pool: reset the
@@ -141,7 +291,43 @@ impl Allocator {
     /// (`MakeLinkedObject`, Function 4, up to the pop). The returned block
     /// has kind [`KIND_RAW`]; the client initializes it and sets
     /// [`KIND_NODE`].
+    ///
+    /// With `cfg.magazine > 0` most calls are served from the thread's DRAM
+    /// magazine (`pred`/`key` then go unrecorded: lease recovery re-derives
+    /// both via [`Reachability::is_linked`] / `node_first_key`).
     pub fn alloc(
+        &self,
+        epoch: u64,
+        pool_id: u16,
+        pred: RivPtr,
+        key: u64,
+        reach: &dyn Reachability,
+    ) -> RivPtr {
+        if self.cfg.magazine == 0 {
+            return self.alloc_logged(epoch, pool_id, pred, key, reach);
+        }
+        let ctx = thread::current();
+        let mut cache = self.cache(ctx.id);
+        if !cache.magazine.is_empty() && (cache.lease_epoch != epoch || cache.lease_pool != pool_id)
+        {
+            // The epoch moved on (in-process restart) or the thread changed
+            // pools: eagerly return the unconsumed blocks. The old lease
+            // log then sees them as KIND_FREE and skips them.
+            let stale_pool = cache.lease_pool;
+            for b in std::mem::take(&mut cache.magazine) {
+                self.free(epoch, stale_pool, b);
+            }
+        }
+        if let Some(b) = cache.magazine.pop() {
+            self.magazine_hits.fetch_add(1, Relaxed);
+            return b;
+        }
+        self.lease_refill(&mut cache, epoch, pool_id, reach)
+    }
+
+    /// The original one-log-one-CAS-per-pop path (Function 4), used when
+    /// the magazine is disabled.
+    fn alloc_logged(
         &self,
         epoch: u64,
         pool_id: u16,
@@ -161,15 +347,36 @@ impl Allocator {
                 !head.is_null(),
                 "arena head must never be null (pool not formatted?)"
             );
+            // Pop guard (module docs "Known windows"): a block that already
+            // left the list must never be handed out again.
+            if self.space.read(head.add(BLK_KIND as u32)) != KIND_FREE {
+                self.heal_head_if_corrupt(epoch, pool_id, arena, head_raw, reach);
+                continue;
+            }
             let next_raw = self.space.read(head.add(BLK_NEXT_FREE as u32));
+            if next_raw == NEXT_POPPED {
+                self.heal_head_if_corrupt(epoch, pool_id, arena, head_raw, reach);
+                continue;
+            }
             if next_raw == 0 {
                 // The last block is never popped; grow instead (line 34).
-                self.provision_chunk(epoch, pool_id, reach);
+                self.provision_chunk(epoch, pool_id, arena, reach);
                 provisioned = true;
                 continue;
             }
             // Function 3: validate any stale log, then log this attempt.
-            self.log_change_attempt(epoch, head, pred, key, reach);
+            self.validate_stale_log(epoch, reach);
+            write_log(
+                &self.space,
+                &self.layout,
+                ctx.id,
+                LogEntry::Alloc {
+                    epoch,
+                    block: head,
+                    pred,
+                    key,
+                },
+            );
             if pool.cas(head_slot, head_raw, next_raw).is_ok() {
                 pool.persist(head_slot, 1);
                 // De-initialize the popped block immediately so a stale log
@@ -193,9 +400,191 @@ impl Allocator {
                 } else {
                     &self.fast_allocs
                 };
-                path.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                path.fetch_add(1, Relaxed);
                 return head;
             }
+        }
+    }
+
+    /// Acquire a lease of up to `cfg.magazine` blocks: one persisted
+    /// `LOG_LEASE` entry, one multi-pop CAS, one stamping fence. Returns
+    /// the first claimed block; the rest fill the thread's magazine.
+    fn lease_refill(
+        &self,
+        cache: &mut ThreadCache,
+        epoch: u64,
+        pool_id: u16,
+        reach: &dyn Reachability,
+    ) -> RivPtr {
+        let ctx = thread::current();
+        let m = self.cfg.magazine;
+        let pool = self.space.pool(pool_id);
+        let mut provisioned: Option<usize> = None;
+        let mut claimed: Vec<RivPtr> = Vec::with_capacity(m);
+        loop {
+            // Once we provisioned a chunk into an arena, stay on it so the
+            // NUMA preference cannot chase us away from our own growth.
+            let arena =
+                provisioned.unwrap_or_else(|| self.pick_arena(pool_id, ctx.id, ctx.numa_node));
+            let head_slot = self.layout.arena_head(arena);
+            let head_raw = pool.read(head_slot);
+            let head = RivPtr::from_raw(head_raw);
+            assert!(
+                !head.is_null(),
+                "arena head must never be null (pool not formatted?)"
+            );
+            // Walk up to m live links, collecting claimable blocks. The
+            // terminal block (next == 0) is never claimed (line 34).
+            claimed.clear();
+            let mut cur = head;
+            let mut corrupt = false;
+            while claimed.len() < m {
+                if self.space.read(cur.add(BLK_KIND as u32)) != KIND_FREE {
+                    corrupt = true;
+                    break;
+                }
+                let next_raw = self.space.read(cur.add(BLK_NEXT_FREE as u32));
+                if next_raw == NEXT_POPPED {
+                    corrupt = true;
+                    break;
+                }
+                if next_raw == 0 {
+                    break;
+                }
+                claimed.push(cur);
+                cur = RivPtr::from_raw(next_raw);
+            }
+            if corrupt {
+                // Mid-walk (cur != head) this is just a racing pop — retry.
+                // At the head itself it may be mis-pop residue.
+                if cur == head {
+                    self.heal_head_if_corrupt(epoch, pool_id, arena, head_raw, reach);
+                }
+                continue;
+            }
+            if claimed.is_empty() {
+                self.provision_chunk(epoch, pool_id, arena, reach);
+                provisioned = Some(arena);
+                continue;
+            }
+            // Function 3, amortized: one persisted log entry names every
+            // block this lease claims.
+            self.validate_stale_log(epoch, reach);
+            write_log(
+                &self.space,
+                &self.layout,
+                ctx.id,
+                LogEntry::lease(epoch, &claimed),
+            );
+            // One multi-pop CAS jumps the head over the claimed prefix.
+            if pool.cas(head_slot, head_raw, cur.raw()).is_err() {
+                continue;
+            }
+            pool.persist(head_slot, 1);
+            // Stamp every claimed block RAW/POPPED in the new epoch. The
+            // write-backs are batched; the persist below dedups against
+            // the first block's pending line, so the whole lease pays one
+            // stamping fence.
+            for &b in &claimed {
+                self.space.write(b.add(BLK_KIND as u32), KIND_RAW);
+                self.space.write(b.add(BLK_NEXT_FREE as u32), NEXT_POPPED);
+                self.space.write(b.add(BLK_EPOCH as u32), epoch);
+                self.space.flush_range(b, BLK_CLIENT);
+            }
+            self.space.persist(claimed[0], 1);
+            // If the tail hint pointed into the claimed prefix, advance it
+            // past the removed blocks.
+            let tail_slot = self.layout.arena_tail(arena);
+            let tail_raw = pool.read(tail_slot);
+            if claimed.iter().any(|b| b.raw() == tail_raw) {
+                let _ = pool.cas(tail_slot, tail_raw, cur.raw());
+                pool.persist(tail_slot, 1);
+            }
+            self.leases.fetch_add(1, Relaxed);
+            self.lease_blocks.fetch_add(claimed.len() as u64, Relaxed);
+            let path = if provisioned.is_some() {
+                &self.slow_allocs
+            } else {
+                &self.fast_allocs
+            };
+            path.fetch_add(1, Relaxed);
+            // Hand back the first block; park the rest in list order.
+            cache.magazine.extend(claimed.iter().skip(1).rev());
+            cache.lease_epoch = epoch;
+            cache.lease_pool = pool_id;
+            return claimed[0];
+        }
+    }
+
+    /// The arena a lease draws from: prefer one whose head block is homed
+    /// on the calling thread's NUMA node (pool placement may stripe lines
+    /// across nodes), falling back to the thread's hashed arena (stealing).
+    /// The magazine-off pop path keeps the plain hash — this scan is only
+    /// amortized over a whole lease.
+    fn pick_arena(&self, pool_id: u16, tid: usize, node: u16) -> usize {
+        let n = self.cfg.num_arenas;
+        let start = tid % n;
+        let pool = self.space.pool(pool_id);
+        let placement = pool.placement();
+        if matches!(placement, Placement::Node(_)) {
+            // The whole pool lives on one node; nothing to pick.
+            return start;
+        }
+        for i in 0..n {
+            let a = (start + i) % n;
+            let head = RivPtr::from_raw(pool.read(self.layout.arena_head(a)));
+            if head.is_null() || head.chunk() == 0 {
+                continue;
+            }
+            let word = self.layout.chunk_base(&self.cfg, head.chunk()) + head.offset() as u64;
+            if placement.owner_node(word) == node {
+                return a;
+            }
+        }
+        start
+    }
+
+    /// Corrupt-head self-heal (module docs "Known windows"). Called when a
+    /// pop path saw the head fail the claimable guard: distinguish a stale
+    /// local read (slot already moved on — just retry) from mis-pop
+    /// residue (the slot keeps naming a block that left the list; a pop
+    /// CAS moves the slot *before* stamping, so this state is never a pop
+    /// in flight), and replace the latter with a freshly carved chunk.
+    fn heal_head_if_corrupt(
+        &self,
+        epoch: u64,
+        pool_id: u16,
+        arena: usize,
+        suspect_raw: u64,
+        reach: &dyn Reachability,
+    ) {
+        let pool = self.space.pool(pool_id);
+        let head_slot = self.layout.arena_head(arena);
+        if pool.read(head_slot) != suspect_raw {
+            return;
+        }
+        let suspect = RivPtr::from_raw(suspect_raw);
+        let kind = self.space.read(suspect.add(BLK_KIND as u32));
+        let next = self.space.read(suspect.add(BLK_NEXT_FREE as u32));
+        if kind == KIND_FREE && next != NEXT_POPPED {
+            return; // sane again (our earlier reads were stale)
+        }
+        if pool.read(head_slot) != suspect_raw {
+            return;
+        }
+        // The corrupt suffix is abandoned rather than walked — its links
+        // are untrustworthy by definition (bounded, counted leak).
+        let (first, last) = self.provision_chunk_unlinked(epoch, pool_id, reach);
+        if pool.cas(head_slot, suspect_raw, first.raw()).is_ok() {
+            pool.persist(head_slot, 1);
+            let tail_slot = self.layout.arena_tail(arena);
+            pool.write(tail_slot, last.raw());
+            pool.persist(tail_slot, 1);
+            self.heals.fetch_add(1, Relaxed);
+        } else {
+            // Lost the race to another healer; attach the fresh chunk
+            // normally instead of leaking it.
+            self.link_chain_in_tail(epoch, pool_id, arena, first, last);
         }
     }
 
@@ -230,16 +619,121 @@ impl Allocator {
         self.link_chain_in_tail(epoch, pool_id, arena, obj, obj);
     }
 
-    /// `LogChangeAttempt` (Function 3): validate the thread's previous log
-    /// if it predates the current epoch, then persist the new entry.
-    fn log_change_attempt(
-        &self,
-        epoch: u64,
-        block: RivPtr,
-        pred: RivPtr,
-        key: u64,
-        reach: &dyn Reachability,
-    ) {
+    /// [`Allocator::free`] with the list append deferred: the block is
+    /// de-initialized and written back immediately (its content never
+    /// outlives the free), but the fence and the `LinkInTail` are batched —
+    /// one of each per outbox flush instead of per block. Falls back to the
+    /// eager path when the magazine is disabled or the block needs the
+    /// membership walk. Not safe to race with another free of the *same*
+    /// block (the structure's unlink already serializes frees per block);
+    /// recovery paths use the eager [`Allocator::free`].
+    ///
+    /// A crash while blocks sit in the outbox leaks at most
+    /// `cfg.magazine` blocks per thread (module docs "Known windows").
+    pub fn free_deferred(&self, epoch: u64, pool_id: u16, obj: RivPtr) {
+        if self.cfg.magazine == 0 {
+            return self.free(epoch, pool_id, obj);
+        }
+        let ctx = thread::current();
+        let arena = ctx.id % self.cfg.num_arenas;
+        let mut cache = self.cache(ctx.id);
+        if !cache.outbox.is_empty()
+            && (cache.outbox_pool != pool_id
+                || cache.outbox_epoch != epoch
+                || cache.outbox_arena != arena)
+        {
+            // The batch targets one list; a different target flushes first.
+            self.flush_outbox_locked(&mut cache);
+        }
+        if cache.outbox.contains(&obj) {
+            return; // a duplicate link would cycle the chain
+        }
+        let kind = self.space.read(obj.add(BLK_KIND as u32));
+        if kind == KIND_FREE {
+            let next = self.space.read(obj.add(BLK_NEXT_FREE as u32));
+            if next != 0 && next != NEXT_POPPED {
+                return; // a previous deletion completed
+            }
+            // Free-but-maybe-unlinked: only the eager path's membership
+            // walk can safely (re)attach it.
+            drop(cache);
+            return self.free(epoch, pool_id, obj);
+        }
+        // De-initialize now and write the lines back (no fence — the batch
+        // fence at flush time orders every queued block at once).
+        for w in BLK_CLIENT..self.cfg.block_words {
+            self.space.write(obj.add(w as u32), 0);
+        }
+        self.space.write(obj.add(BLK_NEXT_FREE as u32), 0);
+        self.space.write(obj.add(BLK_EPOCH as u32), epoch);
+        self.space.write(obj.add(BLK_KIND as u32), KIND_FREE);
+        self.space.flush_range(obj, self.cfg.block_words);
+        cache.outbox_pool = pool_id;
+        cache.outbox_epoch = epoch;
+        cache.outbox_arena = arena;
+        cache.outbox.push(obj);
+        if cache.outbox.len() >= self.cfg.magazine {
+            self.flush_outbox_locked(&mut cache);
+        }
+    }
+
+    /// Chain the outbox into one segment and append it with a single fence
+    /// plus a single `LinkInTail`.
+    fn flush_outbox_locked(&self, cache: &mut ThreadCache) {
+        if cache.outbox.is_empty() {
+            return;
+        }
+        let pool_id = cache.outbox_pool;
+        let epoch = cache.outbox_epoch;
+        let arena = cache.outbox_arena;
+        for w in cache.outbox.windows(2) {
+            self.space.write(w[0].add(BLK_NEXT_FREE as u32), w[1].raw());
+            self.space.flush_range(w[0].add(BLK_NEXT_FREE as u32), 1);
+        }
+        let first = cache.outbox[0];
+        let last = *cache.outbox.last().unwrap();
+        // One fence commits every de-initialized block and chain link
+        // before the publishing CAS inside the walk can expose them (the
+        // flush dedups against `last`'s already-pending header line).
+        self.space.persist(last, 1);
+        self.link_chain_in_tail(epoch, pool_id, arena, first, last);
+        self.outbox_flushes.fetch_add(1, Relaxed);
+        self.outbox_blocks
+            .fetch_add(cache.outbox.len() as u64, Relaxed);
+        cache.outbox.clear();
+    }
+
+    /// Drain the calling thread's cache: flush its outbox and return its
+    /// unconsumed magazine blocks to the free lists. Call before counting
+    /// blocks or closing the structure.
+    pub fn drain_thread_cache(&self, epoch: u64) {
+        self.drain_slot(thread::current().id, epoch);
+    }
+
+    /// Drain every thread's cache. Callers must be quiescent: other threads
+    /// may not be allocating or freeing concurrently.
+    pub fn drain_all(&self, epoch: u64) {
+        for id in 0..self.caches.len() {
+            self.drain_slot(id, epoch);
+        }
+    }
+
+    fn drain_slot(&self, id: usize, epoch: u64) {
+        let mut cache = self.cache(id);
+        self.flush_outbox_locked(&mut cache);
+        let pool = cache.lease_pool;
+        for b in std::mem::take(&mut cache.magazine) {
+            // Eagerly returned blocks read as KIND_FREE when the lease log
+            // is eventually validated, so the log needs no cleanup.
+            self.free(epoch, pool, b);
+        }
+        cache.lease_epoch = 0;
+    }
+
+    /// `LogChangeAttempt`'s validation half (Function 3): if the thread's
+    /// previous log predates the current epoch, validate and repair
+    /// whatever it covered before the slot is overwritten.
+    fn validate_stale_log(&self, epoch: u64, reach: &dyn Reachability) {
         let tid = thread::current().id;
         let prev = read_log(&self.space, &self.layout, tid);
         if let Some(log_epoch) = prev.epoch() {
@@ -247,17 +741,6 @@ impl Allocator {
                 self.recover_log(epoch, prev, reach);
             }
         }
-        write_log(
-            &self.space,
-            &self.layout,
-            tid,
-            LogEntry::Alloc {
-                epoch,
-                block,
-                pred,
-                key,
-            },
-        );
     }
 
     /// Validate one stale log entry and repair whatever it covered.
@@ -305,20 +788,14 @@ impl Allocator {
                             // The interrupted insert actually completed.
                             return;
                         }
-                        let home = thread::current()
-                            .numa_node
-                            .min(self.space.pools().len() as u16 - 1);
-                        self.free(epoch, home, block);
+                        self.free(epoch, self.home_pool(), block);
                     }
                     KIND_RAW => {
                         let next = self.space.read(block.add(BLK_NEXT_FREE as u32));
                         if next == NEXT_POPPED || next == 0 {
                             // Popped (or mid-conversion) but never
                             // initialized: reclaim.
-                            let home = thread::current()
-                                .numa_node
-                                .min(self.space.pools().len() as u16 - 1);
-                            self.free(epoch, home, block);
+                            self.free(epoch, self.home_pool(), block);
                         }
                         // Any other next value: the pop CAS may not have
                         // become durable and the block could still be in a
@@ -326,6 +803,43 @@ impl Allocator {
                     }
                     _ => {
                         // KIND_FREE: already back (or still) in a free list.
+                    }
+                }
+            }
+            LogEntry::Lease {
+                epoch: log_epoch,
+                count,
+                blocks,
+            } => {
+                // O(M) per stale lease: classify every listed block the
+                // same way the Alloc arm classifies its one block. The
+                // lease log records no key or predecessor, so node-shaped
+                // blocks are checked with the structure's own search
+                // (`is_linked` on the node's current first key).
+                for &block in blocks.iter().take(count) {
+                    if !self.space.ptr_resolves(block, BLK_HEADER_WORDS) {
+                        continue; // torn slot residue (see the Alloc arm)
+                    }
+                    if self.space.read(block.add(BLK_EPOCH as u32)) != log_epoch {
+                        continue; // re-owned since; another log covers it
+                    }
+                    match self.space.read(block.add(BLK_KIND as u32)) {
+                        KIND_NODE => {
+                            let key = reach.node_first_key(block);
+                            if !reach.is_linked(key, block) {
+                                self.free(epoch, self.home_pool(), block);
+                            }
+                        }
+                        KIND_RAW => {
+                            let next = self.space.read(block.add(BLK_NEXT_FREE as u32));
+                            if next == NEXT_POPPED || next == 0 {
+                                self.free(epoch, self.home_pool(), block);
+                            }
+                            // Other next values: the multi-pop may not be
+                            // durable and the block may still be in a list
+                            // (bounded leak, see module docs).
+                        }
+                        _ => {} // KIND_FREE: already back in a list
                     }
                 }
             }
@@ -377,19 +891,29 @@ impl Allocator {
         }
     }
 
-    /// Provision a new chunk: log, carve, register (commit point), link its
-    /// per-arena runs into the free lists.
-    fn provision_chunk(&self, epoch: u64, pool_id: u16, reach: &dyn Reachability) {
+    /// Provision a new chunk and link it into `arena`'s free list.
+    fn provision_chunk(&self, epoch: u64, pool_id: u16, arena: usize, reach: &dyn Reachability) {
+        // The whole chunk goes to the requesting arena (Function 4 line 35
+        // links the new chunk into the empty list that triggered it);
+        // splitting across arenas would strand 1 − 1/arenas of every chunk
+        // when few threads are active.
+        let (first, last) = self.provision_chunk_unlinked(epoch, pool_id, reach);
+        self.link_chain_in_tail(epoch, pool_id, arena, first, last);
+    }
+
+    /// Log, carve, and register a new chunk (commit point) without linking
+    /// it anywhere. Returns its whole-chunk chain.
+    fn provision_chunk_unlinked(
+        &self,
+        epoch: u64,
+        pool_id: u16,
+        reach: &dyn Reachability,
+    ) -> (RivPtr, RivPtr) {
         let tid = thread::current().id;
         let chunk_id = self.reserve_chunk_id(pool_id);
         // Validate the previous log first (it may be stale), then log this
         // provisioning so a crash mid-way is completed on our next attempt.
-        let prev = read_log(&self.space, &self.layout, tid);
-        if let Some(log_epoch) = prev.epoch() {
-            if log_epoch != epoch {
-                self.recover_log(epoch, prev, reach);
-            }
-        }
+        self.validate_stale_log(epoch, reach);
         write_log(
             &self.space,
             &self.layout,
@@ -400,18 +924,13 @@ impl Allocator {
                 chunk_id,
             },
         );
-        // The whole chunk goes to the requesting thread's arena (Function 4
-        // line 35 links the new chunk into the empty list that triggered
-        // it); splitting across arenas would strand 1 − 1/arenas of every
-        // chunk when few threads are active.
-        let (first, last) = self.carve_chunk_single(epoch, pool_id, chunk_id);
+        let span = self.carve_chunk_single(epoch, pool_id, chunk_id);
         self.space.register_chunk(
             pool_id,
             chunk_id,
             self.layout.chunk_base(&self.cfg, chunk_id),
         );
-        let arena = tid % self.cfg.num_arenas;
-        self.link_chain_in_tail(epoch, pool_id, arena, first, last);
+        span
     }
 
     /// Complete an interrupted provisioning (idempotent). Runtime chunks
@@ -594,7 +1113,8 @@ impl Allocator {
     // ---- test / diagnostic helpers ----
 
     /// Count the blocks currently in `arena`'s free list of `pool_id`.
-    /// Only meaningful while the allocator is quiescent.
+    /// Only meaningful while the allocator is quiescent (drain caches
+    /// first when the magazine is enabled).
     pub fn count_free(&self, pool_id: u16, arena: usize) -> usize {
         let pool = self.space.pool(pool_id);
         let mut cur = RivPtr::from_raw(pool.read(self.layout.arena_head(arena)));

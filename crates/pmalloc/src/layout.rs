@@ -9,7 +9,9 @@
 //! [alloc_meta_off ..)          next_chunk_id (monotonic chunk reservation)
 //! [arena_heads_off ..)         headBlocks[a], one cache line per arena
 //! [arena_tails_off ..)         tailBlocks[a], one cache line per arena
-//! [logs_off ..)                per-thread allocation logs, one line each
+//! [logs_off ..)                per-thread allocation logs, LOG_SLOT_LINES
+//!                              cache lines each (line 0: epoch/kind/fields,
+//!                              line 1: lease block-pointer overflow)
 //! [data_off ..)                chunk regions, carved sequentially
 //! ```
 //!
@@ -21,6 +23,18 @@
 
 use pmem::{CACHE_LINE_WORDS, MAX_THREADS};
 use riv::RivSpace;
+
+/// Cache lines per per-thread log slot. Line 0 holds the epoch, kind, and
+/// the entry's scalar fields; line 1 is the overflow region for a lease
+/// entry's block-pointer list.
+pub const LOG_SLOT_LINES: u64 = 2;
+
+/// Words per per-thread log slot.
+pub const LOG_SLOT_WORDS: u64 = LOG_SLOT_LINES * CACHE_LINE_WORDS;
+
+/// Maximum blocks one `LOG_LEASE` entry can name: the slot words minus the
+/// epoch, kind, and count header words.
+pub const LEASE_MAX_BLOCKS: usize = (LOG_SLOT_WORDS - 3) as usize;
 
 /// Sizing parameters for the allocator.
 #[derive(Debug, Clone, Copy)]
@@ -37,10 +51,16 @@ pub struct AllocConfig {
     pub max_chunks: u16,
     /// Words reserved at the front of every pool for the client's root.
     pub root_words: u64,
+    /// Leased-magazine capacity per thread: how many blocks one persisted
+    /// `LOG_LEASE` entry claims at once (0 disables the fast path and
+    /// restores one log + one CAS per allocation). At most
+    /// [`LEASE_MAX_BLOCKS`].
+    pub magazine: usize,
 }
 
 impl AllocConfig {
-    /// A small configuration for unit tests.
+    /// A small configuration for unit tests (magazine off: the per-block
+    /// accounting tests rely on eager frees).
     pub fn small() -> Self {
         Self {
             block_words: 64,
@@ -48,6 +68,15 @@ impl AllocConfig {
             num_arenas: 4,
             max_chunks: 64,
             root_words: 64,
+            magazine: 0,
+        }
+    }
+
+    /// [`AllocConfig::small`] with the leased-magazine fast path enabled.
+    pub fn small_magazine(capacity: usize) -> Self {
+        Self {
+            magazine: capacity,
+            ..Self::small()
         }
     }
 
@@ -81,7 +110,7 @@ impl PoolLayout {
         let arena_heads_off = align(alloc_meta_off + CACHE_LINE_WORDS);
         let arena_tails_off = align(arena_heads_off + cfg.num_arenas as u64 * CACHE_LINE_WORDS);
         let logs_off = align(arena_tails_off + cfg.num_arenas as u64 * CACHE_LINE_WORDS);
-        let data_off = align(logs_off + MAX_THREADS as u64 * CACHE_LINE_WORDS);
+        let data_off = align(logs_off + MAX_THREADS as u64 * LOG_SLOT_WORDS);
         Self {
             chunk_table_off,
             alloc_meta_off,
@@ -105,10 +134,11 @@ impl PoolLayout {
         self.arena_tails_off + arena as u64 * CACHE_LINE_WORDS
     }
 
-    /// Offset of thread `t`'s allocation log (one cache line).
+    /// Offset of thread `t`'s allocation log ([`LOG_SLOT_LINES`] cache
+    /// lines).
     #[inline]
     pub fn log_slot(&self, thread_id: usize) -> u64 {
-        self.logs_off + thread_id as u64 * CACHE_LINE_WORDS
+        self.logs_off + thread_id as u64 * LOG_SLOT_WORDS
     }
 
     /// Base offset of chunk `chunk_id` (ids start at 1).
@@ -160,9 +190,20 @@ mod tests {
     }
 
     #[test]
-    fn log_slots_are_one_line_apart() {
+    fn log_slots_are_slot_words_apart_and_line_aligned() {
         let cfg = AllocConfig::small();
         let l = PoolLayout::for_config(&cfg);
-        assert_eq!(l.log_slot(1) - l.log_slot(0), CACHE_LINE_WORDS);
+        assert_eq!(l.log_slot(1) - l.log_slot(0), LOG_SLOT_WORDS);
+        assert_eq!(l.log_slot(0) % CACHE_LINE_WORDS, 0);
+        assert_eq!(LOG_SLOT_WORDS % CACHE_LINE_WORDS, 0);
+        // The last slot must stay inside the log region.
+        assert!(l.log_slot(MAX_THREADS - 1) + LOG_SLOT_WORDS <= l.data_off);
+    }
+
+    #[test]
+    fn lease_capacity_fits_one_slot() {
+        // epoch + kind + count + LEASE_MAX_BLOCKS pointers == slot words.
+        assert_eq!(3 + LEASE_MAX_BLOCKS as u64, LOG_SLOT_WORDS);
+        assert!(AllocConfig::small_magazine(8).magazine <= LEASE_MAX_BLOCKS);
     }
 }

@@ -55,11 +55,20 @@ impl fmt::Display for Finding {
 
 /// `(id, summary)` for every static rule, in id order.
 pub const RULES: &[(&str, &str)] = &[
-    ("PMS01", "pmem write with no reachable flush/persist before function exit"),
-    ("PMS02", "publish CAS with an unflushed preceding write in the same function"),
+    (
+        "PMS01",
+        "pmem write with no reachable flush/persist before function exit",
+    ),
+    (
+        "PMS02",
+        "publish CAS with an unflushed preceding write in the same function",
+    ),
     ("PMS03", "compare_exchange with Relaxed success ordering"),
     ("PMS04", "raw RIV offset arithmetic outside riv helpers"),
-    ("PMS05", "simulate_crash in a test without a recovery assertion"),
+    (
+        "PMS05",
+        "simulate_crash in a test without a recovery assertion",
+    ),
     ("PMS06", "deprecated collect_stats shim (use ObsLevel)"),
     ("PMS07", "exempt_scope tag not sanctioned in pmcheck.toml"),
 ];
@@ -159,16 +168,19 @@ impl Allowlist {
                 });
                 continue;
             }
-            let (key, value) = line
-                .split_once('=')
-                .ok_or_else(|| format!("pmcheck.toml line {}: expected `key = \"value\"`", n + 1))?;
+            let (key, value) = line.split_once('=').ok_or_else(|| {
+                format!("pmcheck.toml line {}: expected `key = \"value\"`", n + 1)
+            })?;
             let key = key.trim();
             let value = value.trim();
             let value = value
                 .strip_prefix('"')
                 .and_then(|v| v.strip_suffix('"'))
                 .ok_or_else(|| {
-                    format!("pmcheck.toml line {}: value must be a double-quoted string", n + 1)
+                    format!(
+                        "pmcheck.toml line {}: value must be a double-quoted string",
+                        n + 1
+                    )
                 })?
                 .to_string();
             match (&mut cur, key) {
@@ -720,7 +732,9 @@ pub fn lint_file(rel: &str, src: &str, allow: &Allowlist) -> Vec<Finding> {
             continue;
         }
         let crashes = occurrences(&stripped, f.body.clone(), "simulate_crash");
-        let Some(&last) = crashes.last() else { continue };
+        let Some(&last) = crashes.last() else {
+            continue;
+        };
         let tail = last..f.body.end;
         let recovered = RECOVERY_TOKENS
             .iter()
@@ -793,7 +807,9 @@ pub struct LintReport {
 }
 
 fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
-    let Ok(rd) = std::fs::read_dir(dir) else { return };
+    let Ok(rd) = std::fs::read_dir(dir) else {
+        return;
+    };
     for entry in rd.flatten() {
         let p = entry.path();
         let name = entry.file_name();

@@ -291,7 +291,9 @@ pub(crate) fn register_pool(pool: &Arc<Pool>) {
 
 fn lookup_pool(addr: usize) -> Option<Arc<Pool>> {
     let reg = CHECK_POOLS.lock().unwrap();
-    reg.as_ref().and_then(|m| m.get(&addr)).and_then(Weak::upgrade)
+    reg.as_ref()
+        .and_then(|m| m.get(&addr))
+        .and_then(Weak::upgrade)
 }
 
 // ---- hooks (called from pool.rs, gated on the pool's level) ---------------

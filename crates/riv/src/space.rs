@@ -216,6 +216,14 @@ impl RivSpace {
         pool.flush(off);
     }
 
+    /// Flush (write back, no fence) every line overlapping
+    /// `ptr .. ptr + words` — see [`Pool::flush_range`].
+    #[inline]
+    pub fn flush_range(&self, ptr: RivPtr, words: u64) {
+        let (pool, off) = self.resolve(ptr);
+        pool.flush_range(off, words);
+    }
+
     /// The `Persist` primitive (Function 1) through a pointer.
     #[inline]
     pub fn persist(&self, ptr: RivPtr, words: u64) {

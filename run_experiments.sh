@@ -19,4 +19,6 @@ $T/crash_test --structure pmdkskip --trials 30 --threads 8 --keyspace 5000 --pre
 $T/traversal --records 100000 --ops 200000 --threads 1,4 --batch 8,32,128 --json $R/BENCH_traversal.json > $R/e10_traversal.csv 2>$R/e10.log
 $T/metrics --records 50000 --ops 100000 --threads 4 --batch 32 --guard --json $R/BENCH_metrics.json > $R/e11_metrics.csv 2>$R/e11.log
 $T/crash_sweep --smoke --pmcheck > $R/e12_pmcheck_sweep.txt 2>>$R/e12.log
+$T/crash_sweep --structures pmalloc-mag --points 24 --seeds 4 --residue-seeds 5 --ops 64 > $R/e12_lease_deep.txt 2>>$R/e12.log
+$T/allocator --gate --json $R/BENCH_allocator.json > $R/e13_allocator.csv 2>$R/e13.log
 echo ALL_DONE
