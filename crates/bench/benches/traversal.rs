@@ -8,13 +8,14 @@ use rand::{Rng, SeedableRng};
 
 const RECORDS: u64 = 100_000;
 
-fn loaded_list(fingers: bool) -> std::sync::Arc<upskiplist::UpSkipList> {
+fn loaded_list(fingers: bool, shadow: bool) -> std::sync::Arc<upskiplist::UpSkipList> {
     let d = bench::Deployment::simple(RECORDS);
     let list = bench::build_upskiplist(
         &d,
         bench::UpSkipListOpts {
             keys_per_node: 256,
             fingers,
+            shadow,
             ..Default::default()
         },
     );
@@ -29,7 +30,7 @@ fn bench_traversal(c: &mut Criterion) {
     group.sample_size(20);
 
     for (name, fingers) in [("seed", false), ("fingered", true)] {
-        let list = loaded_list(fingers);
+        let list = loaded_list(fingers, false);
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
         group.bench_with_input(BenchmarkId::new("get", name), &list, |b, l| {
             b.iter(|| {
@@ -39,7 +40,7 @@ fn bench_traversal(c: &mut Criterion) {
         });
     }
 
-    let list = loaded_list(true);
+    let list = loaded_list(true, false);
     for batch in [8usize, 32, 128] {
         let mut rng = rand::rngs::StdRng::seed_from_u64(2);
         group.bench_with_input(BenchmarkId::new("get_batch", batch), &list, |b, l| {
@@ -54,5 +55,35 @@ fn bench_traversal(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_traversal);
+/// Shadow on vs off, single gets and batches: the timing counterpart to
+/// the `traversal` binary's reads/op comparison.
+fn bench_shadow_descent(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shadow_descent");
+    group.sample_size(20);
+
+    for (name, shadow) in [("off", false), ("on", true)] {
+        let list = loaded_list(true, shadow);
+        // One warm pass so the lazy rebuild happens outside the timer.
+        list.get(ycsb::key_of(0));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        group.bench_with_input(BenchmarkId::new("get", name), &list, |b, l| {
+            b.iter(|| {
+                let k = ycsb::key_of(rng.gen_range(0..RECORDS));
+                std::hint::black_box(l.get(k))
+            })
+        });
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        group.bench_with_input(BenchmarkId::new("get_batch_128", name), &list, |b, l| {
+            b.iter(|| {
+                let keys: Vec<u64> = (0..128)
+                    .map(|_| ycsb::key_of(rng.gen_range(0..RECORDS)))
+                    .collect();
+                std::hint::black_box(l.get_batch(&keys))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_traversal, bench_shadow_descent);
 criterion_main!(benches);

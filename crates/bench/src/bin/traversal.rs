@@ -1,17 +1,21 @@
-//! E10 — traversal fast path: per-thread search fingers and batched reads
-//! vs the seed head-descent, measured by throughput *and* by pmem reads
-//! per operation (the pool stats counters are the simulator's ground truth
-//! for how many PMEM words a descent touches).
+//! E10 — traversal fast path: per-thread search fingers, the DRAM index
+//! shadow, and batched reads vs the seed head-descent, measured by
+//! throughput *and* by pmem reads per operation (the pool stats counters
+//! are the simulator's ground truth for how many PMEM words a descent
+//! touches).
 //!
 //! ```text
 //! cargo run --release -p bench --bin traversal -- \
-//!     --records 100000 --ops 200000 --threads 1,4 --batch 32 \
+//!     --keys 100000,1000000 --ops 200000 --threads 1 --batch 32,128 \
 //!     --json results/BENCH_traversal.json
 //! ```
-//! Emits CSV: `variant,threads,batch,mops,pmem_reads_per_op`; `--json`
-//! additionally writes the same rows as a machine-readable report, and
-//! `--metrics PATH` writes a standardized [`MetricsReport`] including the
-//! structure counters (finger hit rate, hops per traversal).
+//! Emits CSV: `variant,records,threads,batch,shadow,mops,pmem_reads_per_op`;
+//! `--json` additionally writes the same rows as a machine-readable report,
+//! and `--metrics PATH` writes a standardized [`MetricsReport`] including
+//! the structure counters (finger hit rate, shadow hit rate, hops per
+//! traversal). `--gate` exits non-zero unless the shadow descent cuts
+//! reads/op by at least 25% vs the shadow-off batched descent at the
+//! largest key count and batch size (the CI smoke regression check).
 
 use bench::metrics::{push_struct_rows, write_report};
 use bench::{Args, Deployment, UpSkipListOpts};
@@ -20,8 +24,8 @@ use obs::ObsLevel;
 use upskiplist::{StructMetricsSnapshot, UpSkipList};
 use ycsb::{Distribution, WorkloadSpec};
 
-/// Read-only uniform workload: every key equally likely, so finger hits
-/// come only from batch sorting and locality, not from skew.
+/// Read-only uniform workload: every key equally likely, so finger and
+/// shadow hits come only from batch sorting and locality, not from skew.
 const UNIFORM_READS: WorkloadSpec = WorkloadSpec {
     name: "C-uniform",
     read_pct: 100,
@@ -42,16 +46,20 @@ fn pmem_reads(list: &UpSkipList) -> u64 {
 
 struct Row {
     variant: &'static str,
+    records: u64,
     threads: usize,
     batch: usize,
+    shadow: bool,
     mops: f64,
     reads_per_op: f64,
     structure: StructMetricsSnapshot,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn measure(
     variant: &'static str,
     fingers: bool,
+    shadow: bool,
     batch: usize,
     records: u64,
     ops: u64,
@@ -67,13 +75,14 @@ fn measure(
         UpSkipListOpts {
             keys_per_node,
             fingers,
+            shadow,
             ..Default::default()
         },
     );
     let w = ycsb::generate(UNIFORM_READS, records, ops, threads, 42);
     bench::load(&index, &w, threads.max(4), 1);
     // Warm-up pass, then snapshot the counters around the measured run so
-    // load/warm-up traffic is excluded.
+    // load/warm-up traffic (including the lazy shadow build) is excluded.
     let _ = bench::run(&index, &w, 1, false, "warmup");
     let before = pmem_reads(&index);
     let sbefore = index.struct_metrics();
@@ -85,8 +94,10 @@ fn measure(
     let after = pmem_reads(&index);
     Row {
         variant,
+        records,
         threads,
         batch,
+        shadow,
         mops: r.mops(),
         reads_per_op: (after - before) as f64 / r.ops as f64,
         structure: index.struct_metrics().since(&sbefore),
@@ -95,7 +106,17 @@ fn measure(
 
 fn main() {
     let args = Args::parse();
-    let records = args.u64("records", 100_000);
+    // `--keys` sweeps the record count; `--records` remains as the
+    // single-point spelling used by older scripts.
+    let keys: Vec<u64> = if args.get("keys").is_some() {
+        args.get("keys")
+            .unwrap()
+            .split(',')
+            .map(|s| s.trim().parse().expect("--keys: u64 list"))
+            .collect()
+    } else {
+        vec![args.u64("records", 100_000)]
+    };
     let ops = args.u64("ops", 200_000);
     let threads = if args.get("threads").is_some() {
         args.usize_list("threads", "")
@@ -104,38 +125,59 @@ fn main() {
     };
     let batches = args.usize_list("batch", "8,32,128");
     let keys_per_node = args.usize("keys-per-node", 256);
+    let gate = args.get("gate").is_some();
 
-    let mut variants: Vec<(&'static str, bool, usize)> =
-        vec![("seed", false, 1), ("fingered", true, 1)];
+    let mut variants: Vec<(&'static str, bool, bool, usize)> = vec![
+        ("seed", false, false, 1),
+        ("fingered", true, false, 1),
+        ("shadowed", true, true, 1),
+    ];
     for &b in &batches {
-        variants.push(("batched", true, b.max(2)));
+        variants.push(("batched", true, false, b.max(2)));
+        variants.push(("shadow_batched", true, true, b.max(2)));
     }
     let mut rows = Vec::new();
-    println!("variant,threads,batch,mops,pmem_reads_per_op");
-    for &t in &threads {
-        for &(variant, fingers, b) in &variants {
-            let row = measure(variant, fingers, b, records, ops, t, keys_per_node);
-            println!(
-                "{},{},{},{:.4},{:.2}",
-                row.variant, row.threads, row.batch, row.mops, row.reads_per_op
-            );
-            rows.push(row);
+    println!("variant,records,threads,batch,shadow,mops,pmem_reads_per_op");
+    for &records in &keys {
+        for &t in &threads {
+            for &(variant, fingers, shadow, b) in &variants {
+                let row = measure(variant, fingers, shadow, b, records, ops, t, keys_per_node);
+                println!(
+                    "{},{},{},{},{},{:.4},{:.2}",
+                    row.variant,
+                    row.records,
+                    row.threads,
+                    row.batch,
+                    row.shadow,
+                    row.mops,
+                    row.reads_per_op
+                );
+                rows.push(row);
+            }
         }
     }
 
     if let Some(path) = args.get("json") {
         let mut out = String::from("{\n");
         out.push_str("  \"experiment\": \"traversal\",\n");
-        out.push_str(&format!("  \"records\": {records},\n"));
+        out.push_str(&format!(
+            "  \"keys\": [{}],\n",
+            keys.iter()
+                .map(|k| k.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
         out.push_str(&format!("  \"ops\": {ops},\n"));
         out.push_str(&format!("  \"keys_per_node\": {keys_per_node},\n"));
         out.push_str("  \"results\": [\n");
         for (i, r) in rows.iter().enumerate() {
             out.push_str(&format!(
-                "    {{\"variant\": \"{}\", \"threads\": {}, \"batch\": {}, \"mops\": {:.4}, \"pmem_reads_per_op\": {:.2}}}{}\n",
+                "    {{\"variant\": \"{}\", \"records\": {}, \"threads\": {}, \"batch\": {}, \"shadow\": {}, \"mops\": {:.4}, \"pmem_reads_per_op\": {:.2}}}{}\n",
                 r.variant,
+                r.records,
                 r.threads,
                 r.batch,
+                r.shadow,
                 r.mops,
                 r.reads_per_op,
                 if i + 1 == rows.len() { "" } else { "," }
@@ -151,11 +193,13 @@ fn main() {
 
     if let Some(path) = args.get("metrics") {
         let mut report = MetricsReport::new("traversal");
-        report.meta("records", records);
         report.meta("ops", ops);
         report.meta("keys_per_node", keys_per_node);
         for r in &rows {
-            let label = format!("upskiplist[{},t{},b{}]", r.variant, r.threads, r.batch);
+            let label = format!(
+                "upskiplist[{},r{},t{},b{}]",
+                r.variant, r.records, r.threads, r.batch
+            );
             report.push(&label, "get", "mops", r.mops);
             report.push(&label, "get", "reads_per_op", r.reads_per_op);
             push_struct_rows(&mut report, &label, &r.structure);
@@ -163,15 +207,37 @@ fn main() {
         write_report(&report, path);
     }
 
-    // The whole point of the fast path: fingered + batched descents must
-    // touch fewer PMEM words per read than the seed head-descent. Compare
-    // at the last thread count, largest batch.
+    // The whole point of the fast path: the shadow descent must touch
+    // fewer PMEM words per read than the finger-only descent. Compare at
+    // the largest key count and batch size, last thread count.
+    let off = rows.iter().rev().find(|r| r.variant == "batched").unwrap();
+    let on = rows
+        .iter()
+        .rev()
+        .find(|r| r.variant == "shadow_batched")
+        .unwrap();
     let seed = rows.iter().rev().find(|r| r.variant == "seed").unwrap();
-    let batched = rows.iter().rev().find(|r| r.variant == "batched").unwrap();
     eprintln!(
-        "reads/op: seed {:.2} -> batched {:.2} ({:.1}% of seed)",
+        "reads/op @ {} keys, batch {}: seed {:.2}, shadow-off {:.2} -> shadow-on {:.2} ({:.1}% of off)",
+        on.records,
+        on.batch,
         seed.reads_per_op,
-        batched.reads_per_op,
-        100.0 * batched.reads_per_op / seed.reads_per_op
+        off.reads_per_op,
+        on.reads_per_op,
+        100.0 * on.reads_per_op / off.reads_per_op
     );
+    if gate {
+        let limit = 0.75 * off.reads_per_op;
+        if on.reads_per_op > limit {
+            eprintln!(
+                "GATE FAIL: shadow-on reads/op {:.2} exceeds 75% of shadow-off ({:.2})",
+                on.reads_per_op, limit
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "GATE OK: shadow-on reads/op {:.2} <= 75% of shadow-off ({:.2})",
+            on.reads_per_op, limit
+        );
+    }
 }

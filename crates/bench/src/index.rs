@@ -163,6 +163,11 @@ pub struct UpSkipListOpts {
     pub sorted_lookups: bool,
     /// DRAM search fingers (the traversal experiment toggles these).
     pub fingers: bool,
+    /// DRAM index shadow for the upper levels (the traversal experiment
+    /// toggles this against the finger-only descent).
+    pub shadow: bool,
+    /// Shadow entry budget across mirrored levels (0 = library default).
+    pub shadow_capacity: usize,
     /// Random write-back: evict one in N dirty lines (0 = off).
     pub evict_one_in: u32,
     /// Per-thread allocator magazine capacity (0 = one persisted log per
@@ -176,6 +181,8 @@ impl Default for UpSkipListOpts {
             keys_per_node: 16,
             sorted_lookups: false,
             fingers: true,
+            shadow: true,
+            shadow_capacity: 0,
             evict_one_in: 0,
             magazine: 8,
         }
@@ -197,9 +204,14 @@ pub fn build_upskiplist(d: &Deployment, opts: UpSkipListOpts) -> Arc<UpSkipList>
     let mut cfg = sized_config(d, opts.keys_per_node);
     cfg.sorted_lookups = opts.sorted_lookups;
     cfg.fingers = opts.fingers;
+    cfg.shadow = opts.shadow;
     let mut b = sized_builder(d, cfg, opts.evict_one_in);
     b.magazine = opts.magazine;
-    b.create()
+    let list = b.create();
+    if opts.shadow_capacity > 0 {
+        list.set_shadow_tuning(opts.shadow_capacity, upskiplist::DEFAULT_SHADOW_REGIONS);
+    }
+    list
 }
 
 /// Tower height sized to the expected node count (the thesis tunes its

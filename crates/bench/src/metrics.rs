@@ -80,12 +80,17 @@ pub fn push_struct_rows(
     structure: &str,
     m: &upskiplist::StructMetricsSnapshot,
 ) {
-    let rows: [(&str, u64); 15] = [
+    let rows: [(&str, u64); 20] = [
         ("cas_retries", m.cas_retries),
         ("lock_waits", m.lock_waits),
         ("node_splits", m.node_splits),
         ("finger_hits", m.finger_hits),
         ("finger_misses", m.finger_misses),
+        ("shadow_hits", m.shadow_hits),
+        ("shadow_misses", m.shadow_misses),
+        ("shadow_rebuilds", m.shadow_rebuilds),
+        ("shadow_invalidations", m.shadow_invalidations),
+        ("prefetch_issued", m.prefetch_issued),
         ("compactions", m.compactions),
         ("nodes_reclaimed", m.nodes_reclaimed),
         ("alloc_fast_path", m.alloc.fast_allocs),

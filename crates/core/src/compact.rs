@@ -38,9 +38,13 @@ impl UpSkipList {
     /// nodes reclaimed.
     pub fn compact(&self) -> usize {
         // Compaction is the one path that physically frees nodes, which the
-        // epoch protocol does not cover — drop every search finger before
-        // any block can be recycled.
-        self.fingers.invalidate_all();
+        // epoch protocol does not cover — invalidate every search finger
+        // (one generation bump) and throw the shadow image away outright
+        // before any block can be recycled: unlike fingers, stale shadow
+        // entries are used as hints even past a generation mismatch, so
+        // the image itself must not outlive the nodes it points at.
+        self.invalidate_structure();
+        self.shadow.discard();
         let epoch = self.epoch();
         let mut reclaimed = 0;
         let mut pred = self.head;

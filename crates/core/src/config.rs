@@ -35,6 +35,12 @@ pub struct ListConfig {
     /// DRAM-only hints, invalidated by epoch bumps and validated by the
     /// split-count protocol, so recoverability is untouched. On by default.
     pub fingers: bool,
+    /// Keep the *index shadow*: a volatile DRAM mirror of the upper levels
+    /// consulted before the persistent descent, so point operations touch
+    /// PMEM only for the bottom-level walk and the target node (see the
+    /// `shadow` module). Never persisted; discarded and rebuilt on every
+    /// open/recover path. On by default.
+    pub shadow: bool,
 }
 
 impl Default for ListConfig {
@@ -44,6 +50,7 @@ impl Default for ListConfig {
             keys_per_node: 16,
             sorted_lookups: false,
             fingers: true,
+            shadow: true,
         }
     }
 }
@@ -64,6 +71,7 @@ impl ListConfig {
             keys_per_node,
             sorted_lookups: false,
             fingers: true,
+            shadow: true,
         }
     }
 
@@ -80,12 +88,20 @@ impl ListConfig {
         self
     }
 
-    /// Pack into one root word. The finger bit is stored inverted so roots
-    /// formatted before the option existed (bit 61 = 0) unpack with the
-    /// default (`fingers = true`).
+    /// Disable the DRAM index shadow (benchmarks use the un-shadowed
+    /// descent as the reads/op comparison baseline).
+    pub fn without_shadow(mut self) -> Self {
+        self.shadow = false;
+        self
+    }
+
+    /// Pack into one root word. The finger and shadow bits are stored
+    /// inverted so roots formatted before each option existed (bits 61/60
+    /// = 0) unpack with the defaults (`fingers = true`, `shadow = true`).
     pub fn pack(&self) -> u64 {
         (self.max_height as u64)
             | ((self.keys_per_node as u64) << 8)
+            | ((!self.shadow as u64) << 60)
             | ((!self.fingers as u64) << 61)
             | ((self.sorted_lookups as u64) << 62)
     }
@@ -95,6 +111,7 @@ impl ListConfig {
         let mut cfg = Self::new((word & 0xff) as usize, ((word >> 8) & 0xffff_ffff) as usize);
         cfg.sorted_lookups = word >> 62 & 1 == 1;
         cfg.fingers = word >> 61 & 1 == 0;
+        cfg.shadow = word >> 60 & 1 == 0;
         cfg
     }
 }
@@ -112,15 +129,20 @@ mod tests {
             .with_sorted_lookups()
             .without_fingers();
         assert_eq!(ListConfig::unpack(c.pack()), c);
+        let c = ListConfig::new(17, 256).without_shadow();
+        assert_eq!(ListConfig::unpack(c.pack()), c);
+        let c = ListConfig::new(17, 256).without_fingers().without_shadow();
+        assert_eq!(ListConfig::unpack(c.pack()), c);
     }
 
     #[test]
     fn legacy_roots_unpack_with_fingers_enabled() {
-        // A root word packed before the finger option existed has bit 61
-        // clear; it must unpack to the new default rather than silently
-        // disabling the fast path.
+        // A root word packed before the finger/shadow options existed has
+        // bits 61/60 clear; it must unpack to the new defaults rather than
+        // silently disabling the fast paths.
         let legacy = (17u64) | (256u64 << 8);
         assert!(ListConfig::unpack(legacy).fingers);
+        assert!(ListConfig::unpack(legacy).shadow);
     }
 
     #[test]

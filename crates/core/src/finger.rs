@@ -13,11 +13,13 @@
 //!   it was taken in; `recover`/`open` bump the list epoch, so every stale
 //!   finger fails validation and the first post-crash descent starts from
 //!   the head, exactly as the seed algorithm.
-//! - **Physical unlinking invalidates.** During normal operation nodes are
-//!   never unlinked (removes tombstone, splits only add), so a remembered
-//!   predecessor stays linked at the level it was reached on. The one
-//!   exception — quiescent [`UpSkipList::compact`] — frees nodes, so it
-//!   bumps a volatile generation counter that every finger must match.
+//! - **Structural changes invalidate.** Fingers record the shared
+//!   [`StructureEpoch`](crate::shadow::StructureEpoch) generation they were
+//!   taken at — the same counter the index shadow validates against — so a
+//!   split, remove, or quiescent [`UpSkipList::compact`] invalidates both
+//!   caches with one store. (Nodes are never unlinked mid-epoch, so a
+//!   remembered predecessor stays *linked*; the generation check is what
+//!   protects against compaction's physical frees.)
 //! - **Jumps re-read the target's header.** A jump adopts the target's
 //!   *current* epoch/split-count/`keys[0]` line, preserving the Function 9
 //!   split-count snapshot protocol verbatim; a stale-epoch target simply
@@ -28,7 +30,6 @@
 //! uses `try_lock`: slots are uncontended except under id aliasing, where
 //! skipping the hint beats waiting for it.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use riv::RivPtr;
@@ -41,7 +42,7 @@ use crate::list::UpSkipList;
 pub(crate) struct Finger {
     /// Failure-free epoch the recording traversal ran in.
     pub epoch: u64,
-    /// [`FingerTable`] generation at recording time.
+    /// Shared structure generation at recording time.
     pub gen: u64,
     /// Lowest level for which `preds`/`key0s` hold an entry (an early-found
     /// descent never reaches level 0).
@@ -54,20 +55,17 @@ pub(crate) struct Finger {
     pub key0s: [u64; MAX_HEIGHT],
 }
 
-/// Slot table owned by one list handle.
+/// Slot table owned by one list handle. Validity is checked against the
+/// list's shared [`StructureEpoch`](crate::shadow::StructureEpoch); the
+/// table itself holds no generation of its own.
 pub(crate) struct FingerTable {
     slots: Box<[Mutex<Option<Finger>>]>,
-    /// Bumped whenever nodes may be physically freed outside the epoch
-    /// protocol (quiescent compaction); readers treat a mismatch as "no
-    /// finger".
-    gen: AtomicU64,
 }
 
 impl std::fmt::Debug for FingerTable {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("FingerTable")
             .field("slots", &self.slots.len())
-            .field("gen", &self.gen.load(Ordering::Relaxed))
             .finish()
     }
 }
@@ -82,19 +80,7 @@ impl FingerTable {
     pub fn new() -> Self {
         Self {
             slots: (0..pmem::MAX_THREADS).map(|_| Mutex::new(None)).collect(),
-            gen: AtomicU64::new(0),
         }
-    }
-
-    /// Current structure generation.
-    #[inline]
-    pub fn gen(&self) -> u64 {
-        self.gen.load(Ordering::Acquire)
-    }
-
-    /// Invalidate every outstanding finger (nodes are about to be freed).
-    pub fn invalidate_all(&self) {
-        self.gen.fetch_add(1, Ordering::AcqRel);
     }
 
     #[inline]
@@ -105,12 +91,14 @@ impl FingerTable {
 
 impl UpSkipList {
     /// The calling thread's finger, if it is still valid for the current
-    /// epoch and structure generation. Stale fingers are cleared in place.
-    pub(crate) fn finger_load(&self, epoch: u64) -> Option<Finger> {
+    /// epoch and structure generation (`sgen`, loaded once per traversal
+    /// and shared with the shadow consult). Stale fingers are cleared in
+    /// place.
+    pub(crate) fn finger_load(&self, epoch: u64, sgen: u64) -> Option<Finger> {
         let slot = self.fingers.slot();
         let mut guard = slot.try_lock().ok()?;
         match guard.as_ref() {
-            Some(f) if f.epoch == epoch && f.gen == self.fingers.gen() => Some(f.clone()),
+            Some(f) if f.epoch == epoch && f.gen == sgen => Some(f.clone()),
             Some(_) => {
                 *guard = None;
                 None
@@ -124,6 +112,7 @@ impl UpSkipList {
     pub(crate) fn finger_record(
         &self,
         epoch: u64,
+        sgen: u64,
         low_level: usize,
         preds: &[RivPtr; MAX_HEIGHT],
         key0s: &[u64; MAX_HEIGHT],
@@ -132,7 +121,7 @@ impl UpSkipList {
         if let Ok(mut guard) = slot.try_lock() {
             *guard = Some(Finger {
                 epoch,
-                gen: self.fingers.gen(),
+                gen: sgen,
                 low_level,
                 preds: *preds,
                 key0s: *key0s,
@@ -161,7 +150,9 @@ mod tests {
         let l = small_list();
         l.insert(10, 100);
         assert_eq!(l.get(10), Some(100));
-        let f = l.finger_load(l.epoch()).expect("descent recorded a finger");
+        let f = l
+            .finger_load(l.epoch(), l.structure_gen())
+            .expect("descent recorded a finger");
         assert_eq!(f.epoch, l.epoch());
         assert!(f.low_level < l.config().max_height);
     }
@@ -171,13 +162,13 @@ mod tests {
         let l = small_list();
         l.insert(10, 100);
         assert_eq!(l.get(10), Some(100));
-        assert!(l.finger_load(l.epoch()).is_some());
+        assert!(l.finger_load(l.epoch(), l.structure_gen()).is_some());
         // Simulated restart: the epoch bump must orphan every finger so the
         // first post-crash descent starts from the head and performs the
         // deferred recovery claims.
         l.recover();
         assert!(
-            l.finger_load(l.epoch()).is_none(),
+            l.finger_load(l.epoch(), l.structure_gen()).is_none(),
             "stale-epoch finger survived recovery"
         );
         assert_eq!(l.get(10), Some(100));
@@ -192,14 +183,14 @@ mod tests {
         }
         // Park this thread's finger on nodes that are about to die.
         assert_eq!(l.get(35), Some(35));
-        assert!(l.finger_load(l.epoch()).is_some());
+        assert!(l.finger_load(l.epoch(), l.structure_gen()).is_some());
         for k in 20..=40u64 {
             l.remove(k);
         }
         let reclaimed = l.compact();
         assert!(reclaimed > 0, "compaction reclaimed nothing");
         assert!(
-            l.finger_load(l.epoch()).is_none(),
+            l.finger_load(l.epoch(), l.structure_gen()).is_none(),
             "finger can dangle into a freed block"
         );
         // Reuse of the freed blocks must not be navigated via old hints.
@@ -267,7 +258,7 @@ mod tests {
         .create();
         l.insert(10, 100);
         assert_eq!(l.get(10), Some(100));
-        assert!(l.finger_load(l.epoch()).is_none());
+        assert!(l.finger_load(l.epoch(), l.structure_gen()).is_none());
     }
 
     #[test]

@@ -53,6 +53,7 @@ pub mod metrics;
 pub mod ops;
 pub mod recovery;
 pub mod rwlock;
+pub(crate) mod shadow;
 pub mod traverse;
 
 #[cfg(test)]
@@ -62,6 +63,7 @@ pub use config::{ListConfig, MAX_HEIGHT, MAX_USER_KEY, MIN_USER_KEY};
 pub use list::{ListBuilder, UpSkipList};
 pub use metrics::{StructMetricsSnapshot, StructStats};
 pub use obs::ObsLevel;
+pub use shadow::{DEFAULT_SHADOW_CAPACITY, DEFAULT_SHADOW_REGIONS};
 
 #[cfg(test)]
 mod tests {

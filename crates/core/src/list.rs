@@ -14,6 +14,7 @@ use crate::config::{ListConfig, KEY_INF, KEY_NULL, TOMBSTONE};
 use crate::finger::FingerTable;
 use crate::layout::*;
 use crate::metrics::{StructMetricsSnapshot, StructStats};
+use crate::shadow::{IndexShadow, StructureEpoch};
 
 /// A PMEM-resident, recoverable, NUMA-aware lock-free skip list
 /// (the thesis's UPSkipList, Chapter 4).
@@ -30,6 +31,14 @@ pub struct UpSkipList {
     /// Volatile per-thread search-finger cache (never persisted; see
     /// `finger` module docs for the validation protocol).
     pub(crate) fingers: FingerTable,
+    /// Shared volatile structure generation: bumped by splits, removes and
+    /// compaction; validates both fingers and shadow regions so one store
+    /// invalidates both caches.
+    pub(crate) sepoch: StructureEpoch,
+    /// Volatile DRAM mirror of the upper index levels (never persisted;
+    /// discarded and rebuilt on every open/recover path — see the `shadow`
+    /// module docs for the full contract).
+    pub(crate) shadow: IndexShadow,
     /// Structure-level observability counters (DRAM-only; level derived
     /// from pool 0's [`ObsLevel`]).
     pub(crate) stats: StructStats,
@@ -190,6 +199,8 @@ impl UpSkipList {
             tail: RivPtr::NULL,
             epoch: AtomicU64::new(epoch),
             fingers: FingerTable::new(),
+            sepoch: StructureEpoch::new(),
+            shadow: IndexShadow::new(),
             stats,
         });
         // Sentinels (§4.2). The tail is created first so the head can link
@@ -245,6 +256,10 @@ impl UpSkipList {
             cfg,
             epoch: AtomicU64::new(epoch),
             fingers: FingerTable::new(),
+            // Fresh volatile caches: the shadow is rebuilt from the
+            // persistent levels on first use, never recovered.
+            sepoch: StructureEpoch::new(),
+            shadow: IndexShadow::new(),
             stats,
         })
     }
@@ -257,6 +272,10 @@ impl UpSkipList {
         // The crash destroyed DRAM: magazines and outboxes are gone, not
         // drained — stale lease logs reclaim the magazine blocks lazily.
         self.alloc.discard_thread_caches();
+        // The index shadow is DRAM too: discard, never recover. (The epoch
+        // bump below already orphans it, but dropping the entries now frees
+        // the memory and makes the rebuild-from-scratch contract explicit.)
+        self.shadow.discard();
         let pool0 = self.space().pool(0);
         let epoch = pool0.read(ROOT_EPOCH) + 1;
         pool0.write(ROOT_EPOCH, epoch);

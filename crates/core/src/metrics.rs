@@ -62,6 +62,18 @@ pub struct StructStats {
     pub(crate) finger_hits: Arc<Counter>,
     /// Traversals whose finger slot was empty, stale, or contended.
     pub(crate) finger_misses: Arc<Counter>,
+    /// Shadow consults that resolved the upper levels from a fresh region.
+    pub(crate) shadow_hits: Arc<Counter>,
+    /// Shadow consults that missed (discarded, contended, stale region, or
+    /// failed start-predecessor validation).
+    pub(crate) shadow_misses: Arc<Counter>,
+    /// Full shadow image rebuilds (first descent of an epoch, retuning).
+    pub(crate) shadow_rebuilds: Arc<Counter>,
+    /// Structure-generation bumps (splits, removes, compactions) — each
+    /// invalidates every finger and shadow region in one store.
+    pub(crate) shadow_invalidations: Arc<Counter>,
+    /// Software prefetch hints issued by the descent (feature `prefetch`).
+    pub(crate) prefetch_issued: Arc<Counter>,
     /// Quiescent compaction passes.
     pub(crate) compactions: Arc<Counter>,
     /// Dead nodes unlinked and freed by compaction.
@@ -93,6 +105,11 @@ impl StructStats {
             node_splits: registry.counter("list.node_splits"),
             finger_hits: registry.counter("list.finger_hits"),
             finger_misses: registry.counter("list.finger_misses"),
+            shadow_hits: registry.counter("list.shadow_hits"),
+            shadow_misses: registry.counter("list.shadow_misses"),
+            shadow_rebuilds: registry.counter("list.shadow_rebuilds"),
+            shadow_invalidations: registry.counter("list.shadow_invalidations"),
+            prefetch_issued: registry.counter("list.prefetch_issued"),
             compactions: registry.counter("list.compactions"),
             nodes_reclaimed: registry.counter("list.nodes_reclaimed"),
             hops: std::array::from_fn(|l| registry.counter(&format!("list.hops.l{l:02}"))),
@@ -158,6 +175,41 @@ impl StructStats {
     }
 
     #[inline]
+    pub(crate) fn shadow_hit(&self) {
+        if self.enabled {
+            self.shadow_hits.inc();
+        }
+    }
+
+    #[inline]
+    pub(crate) fn shadow_miss(&self) {
+        if self.enabled {
+            self.shadow_misses.inc();
+        }
+    }
+
+    #[inline]
+    pub(crate) fn shadow_rebuild(&self) {
+        if self.enabled {
+            self.shadow_rebuilds.inc();
+        }
+    }
+
+    #[inline]
+    pub(crate) fn shadow_invalidation(&self) {
+        if self.enabled {
+            self.shadow_invalidations.inc();
+        }
+    }
+
+    #[inline]
+    pub(crate) fn prefetch_issue(&self) {
+        if self.enabled {
+            self.prefetch_issued.inc();
+        }
+    }
+
+    #[inline]
     pub(crate) fn compaction(&self) {
         if self.enabled {
             self.compactions.inc();
@@ -202,6 +254,11 @@ impl StructStats {
             node_splits: self.node_splits.value(),
             finger_hits: self.finger_hits.value(),
             finger_misses: self.finger_misses.value(),
+            shadow_hits: self.shadow_hits.value(),
+            shadow_misses: self.shadow_misses.value(),
+            shadow_rebuilds: self.shadow_rebuilds.value(),
+            shadow_invalidations: self.shadow_invalidations.value(),
+            prefetch_issued: self.prefetch_issued.value(),
             compactions: self.compactions.value(),
             nodes_reclaimed: self.nodes_reclaimed.value(),
             hops_per_level: std::array::from_fn(|l| self.hops[l].value()),
@@ -218,6 +275,11 @@ pub struct StructMetricsSnapshot {
     pub node_splits: u64,
     pub finger_hits: u64,
     pub finger_misses: u64,
+    pub shadow_hits: u64,
+    pub shadow_misses: u64,
+    pub shadow_rebuilds: u64,
+    pub shadow_invalidations: u64,
+    pub prefetch_issued: u64,
     pub compactions: u64,
     pub nodes_reclaimed: u64,
     pub hops_per_level: [u64; MAX_HEIGHT],
@@ -235,6 +297,11 @@ impl StructMetricsSnapshot {
             node_splits: self.node_splits - earlier.node_splits,
             finger_hits: self.finger_hits - earlier.finger_hits,
             finger_misses: self.finger_misses - earlier.finger_misses,
+            shadow_hits: self.shadow_hits - earlier.shadow_hits,
+            shadow_misses: self.shadow_misses - earlier.shadow_misses,
+            shadow_rebuilds: self.shadow_rebuilds - earlier.shadow_rebuilds,
+            shadow_invalidations: self.shadow_invalidations - earlier.shadow_invalidations,
+            prefetch_issued: self.prefetch_issued - earlier.prefetch_issued,
             compactions: self.compactions - earlier.compactions,
             nodes_reclaimed: self.nodes_reclaimed - earlier.nodes_reclaimed,
             hops_per_level: std::array::from_fn(|l| {
@@ -287,9 +354,22 @@ mod tests {
         assert_eq!(snap.hops_per_level[3], 7);
         assert_eq!(snap.total_hops(), 7);
         assert_eq!(snap.nodes_reclaimed, 2);
+        s.shadow_hit();
+        s.shadow_miss();
+        s.shadow_rebuild();
+        s.shadow_invalidation();
+        s.prefetch_issue();
+        let snap = s.snapshot();
+        assert_eq!(snap.shadow_hits, 1);
+        assert_eq!(snap.shadow_misses, 1);
+        assert_eq!(snap.shadow_rebuilds, 1);
+        assert_eq!(snap.shadow_invalidations, 1);
+        assert_eq!(snap.prefetch_issued, 1);
         let reg = s.registry().snapshot();
         assert_eq!(reg.counter("list.cas_retries"), 2);
         assert_eq!(reg.counter("list.hops.l03"), 7);
+        assert_eq!(reg.counter("list.shadow_hits"), 1);
+        assert_eq!(reg.counter("list.shadow_rebuilds"), 1);
         assert_eq!(s.level(), ObsLevel::Counters);
         assert_eq!(StructStats::new(ObsLevel::Full).level(), ObsLevel::Full);
     }

@@ -137,6 +137,12 @@ impl UpSkipList {
             }
             let old = self.update(node, t.key_index, TOMBSTONE);
             rwlock::read_unlock(self.space(), node);
+            if old != TOMBSTONE {
+                // The key's liveness changed: age out cached towers so
+                // shadow regions re-image (and compaction candidates are
+                // not navigated to via stale hints).
+                self.invalidate_structure();
+            }
             return (old != TOMBSTONE).then_some(old);
         }
     }
@@ -364,8 +370,10 @@ impl UpSkipList {
                 }
                 // The neighborhood changed: re-traverse for the node's own
                 // key and refresh its upper next pointers (lines 235–237).
+                // Uncached: a stale shadow could re-serve the very arrays
+                // this CAS just rejected, livelocking the retry loop.
                 self.stats.cas_retry();
-                let t = self.traverse(self.key0(node));
+                let t = self.traverse_uncached(self.key0(node));
                 debug_assert!(t.found(), "node vanished while building its tower");
                 *preds = t.preds;
                 *succs = t.succs;
@@ -479,6 +487,9 @@ impl UpSkipList {
         self.space().fetch_add(node.add(N_SPLIT_COUNT as u32), 1);
         self.space().persist(node.add(N_SPLIT_COUNT as u32), 1);
         self.stats.node_split();
+        // One store invalidates every finger and shadow region: keys moved
+        // between nodes, so both caches' towers may now be loose bounds.
+        self.invalidate_structure();
         // Erase the moved pairs from the old node (lines 265–267).
         let moved_keys: HashSet<u64> = moved.iter().map(|&(k, _)| k).collect();
         for i in 0..self.cfg.keys_per_node {

@@ -229,7 +229,9 @@ impl UpSkipList {
     pub(crate) fn complete_tower(&self, node: RivPtr) {
         let k0 = self.key0(node);
         let h = self.height(node);
-        let t = self.traverse(k0);
+        // Uncached: the link CASes below must be positioned against the
+        // persistent neighborhood, not a stale shadow image.
+        let t = self.traverse_uncached(k0);
         if !t.found() || t.node() != node {
             // The node is not (or no longer) the one holding k0; nothing to
             // complete from here.

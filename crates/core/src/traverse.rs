@@ -44,16 +44,48 @@ impl Traversal {
 }
 
 impl UpSkipList {
+    /// Issue a software prefetch for `words` starting at `ptr` (feature
+    /// `prefetch`; compiles to nothing otherwise). Purely a hint: no
+    /// accounting, no crash checks, dropped when the chunk base is not in
+    /// the DRAM translation cache.
+    #[cfg(feature = "prefetch")]
+    #[inline]
+    fn prefetch(&self, ptr: RivPtr, words: u64) {
+        self.space().prefetch(ptr, words);
+        self.stats.prefetch_issue();
+    }
+
+    #[cfg(not(feature = "prefetch"))]
+    #[inline]
+    fn prefetch(&self, _ptr: RivPtr, _words: u64) {}
+
     /// Function 7. On success the *containing* node is recorded as
     /// `preds[level_found]` (for a `keys[0]` hit the traversal steps into
     /// the node first), so callers address one node uniformly.
     pub(crate) fn traverse(&self, key: u64) -> Traversal {
+        self.traverse_impl(key, true)
+    }
+
+    /// Traverse without consulting the index shadow. Link-CAS retry loops
+    /// (`link_higher_levels`) and tower-completion recovery re-traverse to
+    /// refresh their predecessor arrays — those re-traversals must observe
+    /// the *persistent* neighborhood, or a stale shadow could hand back the
+    /// same failed CAS expectations forever.
+    pub(crate) fn traverse_uncached(&self, key: u64) -> Traversal {
+        self.traverse_impl(key, false)
+    }
+
+    fn traverse_impl(&self, key: u64, cached: bool) -> Traversal {
         let top = self.cfg.max_height - 1;
         let mut recoveries_done = 0u32;
         'outer: loop {
             let epoch = self.epoch();
+            // One structure-generation load validates the finger *and* the
+            // shadow region for this whole descent: a concurrent split or
+            // remove invalidates both caches with its single bump.
+            let sgen = self.structure_gen();
             let hint = if self.cfg.fingers {
-                let h = self.finger_load(epoch);
+                let h = self.finger_load(epoch, sgen);
                 if h.is_none() {
                     self.stats.finger_miss();
                 }
@@ -69,7 +101,47 @@ impl UpSkipList {
             let mut split_count = 0u64;
             let mut pred = self.head;
             let mut pred_k0 = KEY_NULL;
-            for level in (0..=top).rev() {
+            let mut start_level = top;
+            // Index-shadow consult: resolve levels `min_level..=top` in
+            // DRAM, validate the landing predecessor's header once, and
+            // resume the persistent descent just below the mirrored range.
+            // The bottom level stays the sole persistent source of truth —
+            // the walk below revalidates everything the shadow claimed.
+            if cached && self.cfg.shadow && top >= 1 {
+                if let Some(s) =
+                    self.shadow_position(key, epoch, sgen, &mut preds, &mut succs, &mut key0s)
+                {
+                    split_count = s.split_count;
+                    pred = s.pred;
+                    pred_k0 = s.pred_k0;
+                    if let Some(lf) = s.step_level {
+                        // The shadow landed inside the containing node;
+                        // mirror the step-in return (fresh successor read,
+                        // validated split count from the header line).
+                        succs[lf] = self.next(preds[lf], lf);
+                        if self.cfg.fingers {
+                            self.finger_record(epoch, sgen, lf, &preds, &key0s);
+                        }
+                        return Traversal {
+                            preds,
+                            succs,
+                            split_count,
+                            key_index: 0,
+                            level_found: lf,
+                        };
+                    }
+                    start_level = s.low - 1;
+                    // Prefetch-ahead: the first pointer the resumed descent
+                    // will chase, plus the mirrored successor's header (the
+                    // likely next tower when the gap below is short).
+                    self.prefetch(
+                        pred.add(crate::layout::next_off_cfg(&self.cfg, start_level) as u32),
+                        1,
+                    );
+                    self.prefetch(succs[s.low], crate::layout::HEADER_WORDS as u64);
+                }
+            }
+            for level in (0..=start_level).rev() {
                 // Finger jump: adopt the remembered predecessor for this
                 // level when it advances past the inherited one. The jump
                 // target was reached at this level by the recording descent
@@ -103,7 +175,7 @@ impl UpSkipList {
                                     succs[level] = self.next(pred, level);
                                     key0s[level] = hk0;
                                     if self.cfg.fingers {
-                                        self.finger_record(epoch, level, &preds, &key0s);
+                                        self.finger_record(epoch, sgen, level, &preds, &key0s);
                                     }
                                     return Traversal {
                                         preds,
@@ -120,6 +192,10 @@ impl UpSkipList {
                     }
                 }
                 let mut cur = self.next(pred, level);
+                // Foresight-style prefetch-ahead: pull the next tower's
+                // header toward the cache while this iteration's compare
+                // and branch resolve.
+                self.prefetch(cur, crate::layout::HEADER_WORDS as u64);
                 let mut hops = 0u64;
                 loop {
                     debug_assert!(!cur.is_null(), "broken level {level}");
@@ -145,6 +221,7 @@ impl UpSkipList {
                         pred = cur;
                         pred_k0 = k0;
                         cur = self.next(pred, level);
+                        self.prefetch(cur, crate::layout::HEADER_WORDS as u64);
                         hops += 1;
                         if k0 == key {
                             // Stepped into the containing node.
@@ -153,7 +230,7 @@ impl UpSkipList {
                             succs[level] = cur;
                             key0s[level] = k0;
                             if self.cfg.fingers {
-                                self.finger_record(epoch, level, &preds, &key0s);
+                                self.finger_record(epoch, sgen, level, &preds, &key0s);
                             }
                             return Traversal {
                                 preds,
@@ -171,10 +248,24 @@ impl UpSkipList {
                 preds[level] = pred;
                 succs[level] = cur;
                 key0s[level] = pred_k0;
+                if level > 0 {
+                    // Descending: the next pointer one level down is the
+                    // next word read off this predecessor.
+                    self.prefetch(
+                        pred.add(crate::layout::next_off_cfg(&self.cfg, level - 1) as u32),
+                        1,
+                    );
+                }
                 if level == 0 && pred != self.head {
+                    // The internal scan streams the whole key array; start
+                    // pulling it in while the scan sets up.
+                    self.prefetch(
+                        pred.add(crate::layout::key_off(&self.cfg, 0) as u32),
+                        self.cfg.keys_per_node as u64,
+                    );
                     if let Some(i) = self.scan_internal_keys(pred, key) {
                         if self.cfg.fingers {
-                            self.finger_record(epoch, 0, &preds, &key0s);
+                            self.finger_record(epoch, sgen, 0, &preds, &key0s);
                         }
                         return Traversal {
                             preds,
@@ -187,7 +278,7 @@ impl UpSkipList {
                 }
             }
             if self.cfg.fingers {
-                self.finger_record(epoch, 0, &preds, &key0s);
+                self.finger_record(epoch, sgen, 0, &preds, &key0s);
             }
             return Traversal {
                 preds,

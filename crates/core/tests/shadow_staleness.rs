@@ -1,0 +1,276 @@
+//! Shadow staleness: the DRAM index shadow is a hint cache, and these
+//! tests drive it stale on purpose — concurrent splits and removes under
+//! readers, compaction under a warm image, and power failures under every
+//! crash-residue policy — to pin the two properties the design leans on:
+//!
+//! 1. A stale shadow can only cost extra hops, never wrong results.
+//! 2. The shadow is rebuilt from the persistent bottom levels on every
+//!    open/recover path; it is never itself recovered.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+use lincheck::{merge, OpKind, ThreadLog, Ticket, EMPTY};
+use pmem::{CrashPlan, ObsLevel, PersistenceMode};
+use upskiplist::{ListBuilder, ListConfig, UpSkipList};
+
+fn build(height: usize, kpn: usize, pool_words: u64, tracked: bool) -> Arc<UpSkipList> {
+    ListBuilder {
+        list: ListConfig::new(height, kpn),
+        pool_words,
+        mode: if tracked {
+            PersistenceMode::Tracked
+        } else {
+            PersistenceMode::Fast
+        },
+        obs: ObsLevel::Counters,
+        ..ListBuilder::default()
+    }
+    .create()
+}
+
+/// Warm the shadow: descents lazily build the image, so a read sweep
+/// leaves it populated (unless the list is too flat to mirror anything).
+fn warm(list: &Arc<UpSkipList>, keys: impl Iterator<Item = u64>) {
+    for k in keys {
+        list.get(k);
+    }
+}
+
+#[test]
+fn stale_shadow_readers_stay_correct_under_splits_and_removes() {
+    // Odd keys are the stable set readers check; writers insert even keys
+    // (forcing node splits that invalidate the shadow mid-read) and
+    // remove a disjoint slice of high keys (forcing tombstone
+    // invalidations). Small nodes make splits frequent.
+    let list = build(12, 4, 1 << 22, false);
+    let stable_max = 4_000u64;
+    for k in (1..=stable_max).step_by(2) {
+        list.insert(k, k * 10);
+    }
+    for k in (stable_max + 1)..=(stable_max + 1_000) {
+        list.insert(k, 1);
+    }
+    warm(&list, (1..=stable_max).step_by(2));
+    assert!(
+        list.shadow_entries() > 0,
+        "read sweep must have built the image"
+    );
+
+    let stop = Arc::new(AtomicBool::new(false));
+    std::thread::scope(|s| {
+        // Splitter: fill in the even keys, splitting nodes under readers.
+        for t in 0..2u64 {
+            let list = Arc::clone(&list);
+            let stop = Arc::clone(&stop);
+            s.spawn(move || {
+                pmem::thread::register(t as usize, 0);
+                for k in ((2 + 2 * t)..=stable_max).step_by(4) {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    list.insert(k, k * 100);
+                }
+            });
+        }
+        // Remover: tombstone the high slice, then put it back, repeatedly.
+        {
+            let list = Arc::clone(&list);
+            let stop = Arc::clone(&stop);
+            s.spawn(move || {
+                pmem::thread::register(2, 0);
+                for round in 0..6u64 {
+                    for k in (stable_max + 1)..=(stable_max + 1_000) {
+                        if round % 2 == 0 {
+                            list.remove(k);
+                        } else {
+                            list.insert(k, round);
+                        }
+                    }
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                }
+            });
+        }
+        // Readers: stable keys must read exactly, no matter how stale the
+        // image they started their descent from is.
+        for t in 0..3u64 {
+            let list = Arc::clone(&list);
+            let stop = Arc::clone(&stop);
+            s.spawn(move || {
+                pmem::thread::register(3 + t as usize, 0);
+                let mut k = 1 + 2 * t;
+                for _ in 0..40_000 {
+                    assert_eq!(
+                        list.get(k),
+                        Some(k * 10),
+                        "stable key {k} misread under concurrent restructuring"
+                    );
+                    k += 2;
+                    if k > stable_max {
+                        k -= stable_max;
+                    }
+                }
+                stop.store(true, Ordering::Relaxed);
+            });
+        }
+    });
+
+    for k in (1..=stable_max).step_by(2) {
+        assert_eq!(list.get(k), Some(k * 10));
+    }
+    for k in (2..=stable_max).step_by(2) {
+        assert_eq!(list.get(k), Some(k * 100), "split-inserted key {k}");
+    }
+    list.check_invariants();
+    let m = list.struct_metrics();
+    assert!(
+        m.shadow_invalidations > 0,
+        "splits and removes must have bumped the structure epoch"
+    );
+}
+
+#[test]
+fn compaction_under_a_warm_shadow_discards_then_rebuilds() {
+    let list = build(10, 4, 1 << 20, false);
+    for k in 1..=800u64 {
+        list.insert(k, k);
+    }
+    warm(&list, 1..=800);
+    assert!(list.shadow_entries() > 0);
+    for k in 200..=600u64 {
+        list.remove(k);
+    }
+    let reclaimed = list.compact();
+    assert!(reclaimed > 0, "a 401-key hole must empty some 4-key nodes");
+    assert_eq!(
+        list.shadow_entries(),
+        0,
+        "compact frees nodes, so it must throw the whole image away"
+    );
+    // Post-compact descents are correct and repopulate the image lazily.
+    for k in (1..200u64).chain(601..=800) {
+        assert_eq!(list.get(k), Some(k));
+    }
+    for k in 200..=600u64 {
+        assert_eq!(list.get(k), None);
+    }
+    assert!(list.shadow_entries() > 0, "image rebuilt after compaction");
+    list.check_invariants();
+}
+
+#[test]
+fn every_crash_plan_rebuilds_the_shadow_from_scratch() {
+    pmem::crash::silence_crash_panics();
+    let plans = [
+        CrashPlan::DropAll,
+        CrashPlan::KeepAll,
+        CrashPlan::KeepUnfencedOnly,
+        CrashPlan::Seeded(41),
+        CrashPlan::Seeded(42),
+    ];
+    for &plan in &plans {
+        let list = build(10, 8, 1 << 20, true);
+        for k in 1..=600u64 {
+            list.insert(k, k * 3);
+        }
+        warm(&list, 1..=600);
+        assert!(list.shadow_entries() > 0, "[{plan}] warm image expected");
+
+        for p in list.space().pools() {
+            p.simulate_crash_with(plan);
+        }
+        pmem::discard_pending();
+        list.recover();
+        assert_eq!(
+            list.shadow_entries(),
+            0,
+            "[{plan}] recovery must discard the image, never repair it"
+        );
+
+        // Reads after recovery are correct and rebuild the image from the
+        // persistent levels alone.
+        for k in 1..=600u64 {
+            assert_eq!(list.get(k), Some(k * 3), "[{plan}] key {k}");
+        }
+        assert!(
+            list.shadow_entries() > 0,
+            "[{plan}] image rebuilt lazily after recovery"
+        );
+        list.check_invariants();
+    }
+}
+
+/// Strict-linearizability of a concurrent read/write history with the
+/// shadow enabled and deliberately under-provisioned (tiny capacity, few
+/// regions), so descents constantly race rebuilds and region refreshes.
+#[test]
+fn concurrent_history_with_stressed_shadow_is_linearizable() {
+    let list = build(12, 4, 1 << 22, false);
+    list.set_shadow_tuning(64, 4);
+    let ticket = Ticket::new();
+    let keyspace = 250u64;
+    let logs = Arc::new(Mutex::new(Vec::new()));
+    std::thread::scope(|s| {
+        for t in 0..6usize {
+            let list = Arc::clone(&list);
+            let logs = Arc::clone(&logs);
+            let ticket = &ticket;
+            s.spawn(move || {
+                pmem::thread::register(t, 0);
+                let mut log = ThreadLog::new(t as u32);
+                // Deterministic per-thread mix, ~40% reads.
+                let mut x = 0x9E37u64.wrapping_mul(t as u64 + 1);
+                for _ in 0..3_000 {
+                    x = x
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    let key = 1 + (x >> 33) % keyspace;
+                    if x % 10 < 4 {
+                        let idx = log.begin(ticket, OpKind::Read, key, 0);
+                        let v = list.get(key);
+                        log.finish(ticket, idx, v.unwrap_or(EMPTY));
+                    } else {
+                        let value = ticket.next();
+                        let idx = log.begin(ticket, OpKind::Write, key, value);
+                        let old = list.insert(key, value);
+                        log.finish(ticket, idx, old.unwrap_or(EMPTY));
+                    }
+                }
+                logs.lock().unwrap().push(log);
+            });
+        }
+    });
+    let logs = Arc::try_unwrap(logs).unwrap().into_inner().unwrap();
+    let history = merge(logs, vec![]);
+    let result = lincheck::check(&history);
+    assert!(
+        result.is_linearizable(),
+        "violations: {:?}",
+        result.violations
+    );
+    assert!(result.writes_checked > 1_000);
+    list.check_invariants();
+}
+
+#[test]
+fn disabled_shadow_still_serves_and_counts_nothing() {
+    let list = ListBuilder {
+        list: ListConfig::new(10, 8).without_shadow(),
+        pool_words: 1 << 20,
+        obs: ObsLevel::Counters,
+        ..ListBuilder::default()
+    }
+    .create();
+    for k in 1..=400u64 {
+        list.insert(k, k);
+    }
+    warm(&list, 1..=400);
+    assert_eq!(list.shadow_entries(), 0);
+    let m = list.struct_metrics();
+    assert_eq!(m.shadow_hits + m.shadow_misses + m.shadow_rebuilds, 0);
+    for k in 1..=400u64 {
+        assert_eq!(list.get(k), Some(k));
+    }
+}

@@ -1,0 +1,232 @@
+//! Minimal offline stand-in for the `criterion` crate (0.5 API subset).
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace crate vendors the entry points the suite's benches use:
+//! `criterion_group!` / `criterion_main!`, `Criterion::benchmark_group`,
+//! `BenchmarkGroup::{sample_size, bench_function, bench_with_input,
+//! finish}`, `BenchmarkId::new`, and `Bencher::{iter, iter_custom}`.
+//!
+//! Instead of criterion's statistical engine, each benchmark runs a short
+//! calibrated loop and prints mean wall time per iteration. That is enough
+//! for the benches to build, run under `cargo bench`, and emit usable
+//! numbers; it makes no claim of criterion-grade rigor.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Identifier combining a function name and a parameter, as in criterion.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    pub fn new<P: fmt::Display>(function: &str, parameter: P) -> Self {
+        BenchmarkId {
+            name: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            name: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId { name }
+    }
+}
+
+/// Measurement driver handed to the bench closure.
+pub struct Bencher {
+    samples: usize,
+}
+
+impl Bencher {
+    /// Time `routine` over a calibrated number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: grow the batch until it takes ~1ms, so per-iteration
+        // timing overhead is amortized even for nanosecond routines.
+        let mut batch: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(1) || batch >= 1 << 24 {
+                break;
+            }
+            batch *= 2;
+        }
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            total += start.elapsed();
+            iters += batch;
+        }
+        report(total, iters);
+    }
+
+    /// Hand the iteration count to the routine and trust its own timing.
+    pub fn iter_custom<R: FnMut(u64) -> Duration>(&mut self, mut routine: R) {
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        let per_sample: u64 = 10;
+        for _ in 0..self.samples {
+            total += routine(per_sample);
+            iters += per_sample;
+        }
+        report(total, iters);
+    }
+}
+
+fn report(total: Duration, iters: u64) {
+    let ns = total.as_nanos() as f64 / iters.max(1) as f64;
+    let (value, unit) = if ns >= 1e9 {
+        (ns / 1e9, "s")
+    } else if ns >= 1e6 {
+        (ns / 1e6, "ms")
+    } else if ns >= 1e3 {
+        (ns / 1e3, "µs")
+    } else {
+        (ns, "ns")
+    };
+    println!("                        time: {value:.3} {unit}/iter  ({iters} iters)");
+}
+
+/// Named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        println!("{}/{}", self.name, id.name);
+        let mut b = Bencher {
+            samples: self.sample_size.min(20),
+        };
+        f(&mut b);
+        self
+    }
+
+    pub fn bench_with_input<I: Into<BenchmarkId>, T: ?Sized, F: FnMut(&mut Bencher, &T)>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        println!("{}/{}", self.name, id.name);
+        let mut b = Bencher {
+            samples: self.sample_size.min(20),
+        };
+        f(&mut b, input);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Top-level driver; holds nothing but exists to mirror the real API.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\ngroup {name}");
+        BenchmarkGroup {
+            name,
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        println!("\n{name}");
+        let mut b = Bencher { samples: 10 };
+        f(&mut b);
+        self
+    }
+}
+
+/// Re-export point for `std::hint::black_box`, as criterion provides.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_benches_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(2);
+        let mut calls = 0u64;
+        group.bench_function("incr", |b| b.iter(|| calls = calls.wrapping_add(1)));
+        assert!(calls > 0, "routine never ran");
+        let data = vec![1u64, 2, 3];
+        group.bench_with_input(BenchmarkId::new("sum", data.len()), &data, |b, d| {
+            b.iter(|| d.iter().sum::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn iter_custom_accumulates_reported_time() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("custom");
+        group.sample_size(3);
+        let mut seen = 0u64;
+        group.bench_function("noop", |b| {
+            b.iter_custom(|iters| {
+                seen += iters;
+                std::time::Duration::from_micros(iters)
+            })
+        });
+        assert!(seen > 0);
+        group.finish();
+    }
+}

@@ -1,6 +1,6 @@
 //! Per-thread allocation logs (thesis §4.1.4, Function 3).
 //!
-//! Each thread owns one log slot of [`LOG_SLOT_LINES`] cache lines in
+//! Each thread owns one log slot of [`crate::layout::LOG_SLOT_LINES`] cache lines in
 //! pool 0. Before any modification that could leave memory unreachable if
 //! interrupted (a block pop, a chunk provisioning, a multi-block lease),
 //! the thread persists a log describing the attempt. Because a thread
@@ -123,7 +123,7 @@ pub fn read_log(space: &RivSpace, layout: &PoolLayout, thread_id: usize) -> LogE
 
 /// Overwrite and persist the log slot of `thread_id`. Pop and provisioning
 /// entries fit one cache line (a single flush, thesis §4.1.4); a lease
-/// entry spans [`LOG_SLOT_LINES`] lines but still pays only **one** fence —
+/// entry spans [`crate::layout::LOG_SLOT_LINES`] lines but still pays only **one** fence —
 /// that amortized fence is the point of the lease fast path.
 pub fn write_log(space: &RivSpace, layout: &PoolLayout, thread_id: usize, entry: LogEntry) {
     let pool = space.pool(0);

@@ -78,6 +78,47 @@ fn reading_never_durable_residue_is_pmd03() {
     pmem::check::reset_thread();
 }
 
+/// Negative control for the index-shadow contract ("lookups make zero
+/// pmem writes"): a toy lookup cache that persists its hint table into
+/// pmem on the *read* path — the exact mistake the DRAM shadow must never
+/// make — is caught twice over. The detector flags the unflushed publish
+/// of the hint slot, and the pool's write counter (the same counter
+/// `core`'s `warm_shadow_read_path_makes_zero_pmem_writes` asserts stays
+/// flat) records the spurious write traffic.
+#[test]
+fn a_lookup_cache_that_writes_pmem_is_flagged() {
+    let p = tracked();
+    // "Data" record, properly persisted: word 128 holds the value.
+    p.write(128, 7_777);
+    p.persist(128, 1);
+    pmem::check::reset_thread();
+    let writes_before = p.stats().snapshot().writes;
+
+    // Buggy lookup: caches the hit location into a pmem-resident hint
+    // table (word 192) and publishes the hint's sequence word — all
+    // without a flush. A correct shadow keeps this table in DRAM.
+    let value = p.read(128);
+    p.write(192, 128); // hint table: "key lives at word 128"
+    let _ = p.cas(8, 0, 1); // publish hint seqno, hint line unflushed
+    pmem::sfence();
+    assert_eq!(value, 7_777);
+
+    assert!(
+        p.stats().snapshot().writes > writes_before,
+        "the buggy read path visibly writes pmem"
+    );
+    let findings = p.take_check_findings();
+    let v: Vec<_> = findings.iter().filter(|f| f.rule.is_violation()).collect();
+    assert_eq!(v.len(), 1, "{findings:?}");
+    assert_eq!(v[0].rule, Rule::UnflushedPublish);
+    assert_eq!(
+        v[0].line,
+        192 / CACHE_LINE_WORDS,
+        "blames the pmem-resident hint table"
+    );
+    pmem::check::reset_thread();
+}
+
 /// Miniature version of the E12 cross-check: a structure that publishes a
 /// pointer to an unflushed record gets a PMD01 from the detector *and*
 /// loses the record under DropAll residue — the static/dynamic finding

@@ -344,6 +344,42 @@ impl Pool {
         }
     }
 
+    /// Software prefetch hint for the `words`-word span starting at `off`:
+    /// touches nothing architecturally — no stats, no latency charge, no
+    /// crash check, no pmcheck event — it only asks the CPU to start
+    /// pulling the backing cache lines toward L1 (`prefetcht0`). On
+    /// non-x86_64 targets this is a no-op. Out-of-range spans are ignored
+    /// rather than panicking: a hint derived from a stale volatile cache
+    /// must never be able to crash the process.
+    #[inline]
+    pub fn prefetch(&self, off: u64, words: u64) {
+        let end = off.saturating_add(words.max(1));
+        if end > self.len_words() {
+            return;
+        }
+        #[cfg(target_arch = "x86_64")]
+        {
+            let mut line = crate::line_of(off);
+            let last = crate::line_of(end - 1);
+            while line <= last {
+                let idx = (line * CACHE_LINE_WORDS) as usize;
+                // SAFETY: idx is in bounds (checked above) and prefetch has
+                // no architectural effect on the pointee.
+                unsafe {
+                    std::arch::x86_64::_mm_prefetch(
+                        self.volatile.as_ptr().add(idx) as *const i8,
+                        std::arch::x86_64::_MM_HINT_T0,
+                    );
+                }
+                line += 1;
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            let _ = end;
+        }
+    }
+
     /// Outlined per-line accounting for streamed reads.
     #[cold]
     fn account_slice(&self, off: u64, words: u64) {

@@ -1,0 +1,390 @@
+//! Minimal offline stand-in for the `proptest` crate (API subset).
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace crate vendors exactly the surface the suite's property tests
+//! use: the `proptest!` block form with an optional `proptest_config`
+//! header, integer-range / tuple / `prop_oneof!` / `collection::vec` /
+//! `bool::ANY` strategies, `prop_map`, and the `prop_assert*` macros.
+//!
+//! Differences from real proptest, deliberately accepted:
+//! - **No shrinking.** A failing case reports the generated inputs via the
+//!   panic message (tests take `Debug`-printable args) but is not reduced.
+//! - **Fixed derived seeding.** Each test derives its case seeds from the
+//!   test body's location, so runs are reproducible without a persistence
+//!   file.
+//! - Only the strategy combinators listed above exist.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+pub mod test_runner {
+    /// Failure raised by `prop_assert!` / `prop_assert_eq!`.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        Fail(String),
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Fail(msg) => write!(f, "{msg}"),
+            }
+        }
+    }
+}
+
+/// Per-`proptest!` block configuration. Only `cases` is honoured; the
+/// other fields exist so `..ProptestConfig::default()` spellings keep
+/// their meaning (and stay non-redundant) when tests tune one knob.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+    /// Accepted for API compatibility; shrinking is not implemented.
+    pub max_shrink_iters: u32,
+    /// Accepted for API compatibility; forking is not implemented.
+    pub fork: bool,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 0,
+            fork: false,
+        }
+    }
+}
+
+/// A generator of values. Unlike real proptest there is no value tree and
+/// no shrinking: `generate` draws one concrete value.
+pub trait Strategy {
+    type Value: fmt::Debug;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    fn prop_map<T: fmt::Debug, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// Object-safe alias used by `prop_oneof!`.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T: fmt::Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: fmt::Debug, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+pub mod bool {
+    use super::{StdRng, Strategy};
+    use rand::Rng;
+
+    /// Uniform boolean strategy (`proptest::bool::ANY`).
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut StdRng) -> bool {
+            rng.gen()
+        }
+    }
+}
+
+pub mod collection {
+    use super::{StdRng, Strategy};
+    use rand::Rng;
+    use std::ops::Range;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// `proptest::collection::vec`: a vector whose length is drawn from
+    /// `len` and whose elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "collection::vec: empty length range");
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let n = rng.gen_range(self.len.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Uniform choice between same-valued strategies.
+pub struct OneOf<T> {
+    pub choices: Vec<BoxedStrategy<T>>,
+}
+
+impl<T: fmt::Debug> Strategy for OneOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        let i = rng.gen_range(0..self.choices.len());
+        self.choices[i].generate(rng)
+    }
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::OneOf { choices: vec![$($crate::Strategy::boxed($strategy)),+] }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("{}\n  left: {:?}\n right: {:?}", format!($($fmt)+), l, r),
+            ));
+        }
+    }};
+}
+
+/// Runtime driver behind the `proptest!` macro: runs `cases` iterations,
+/// each generating fresh inputs and executing the body.
+pub fn run_cases<F>(config: &ProptestConfig, test_name: &str, mut case: F)
+where
+    F: FnMut(&mut StdRng) -> Result<String, (String, test_runner::TestCaseError)>,
+{
+    // Derive a stable per-test seed so failures reproduce across runs.
+    let mut seed = 0xcbf2_9ce4_8422_2325u64;
+    for b in test_name.bytes() {
+        seed = (seed ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+    }
+    for i in 0..config.cases {
+        let mut rng = StdRng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0x9E37_79B9));
+        if let Err((inputs, e)) = case(&mut rng) {
+            panic!(
+                "proptest case {i}/{} failed: {e}\ninputs: {inputs}",
+                config.cases
+            );
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! proptest {
+    // With an explicit config header.
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_tests!([$config] $($rest)*);
+    };
+    // Without a header: default config.
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests!([$crate::ProptestConfig::default()] $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ([$config:expr]) => {};
+    (
+        [$config:expr]
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            $crate::run_cases(&config, concat!(module_path!(), "::", stringify!($name)), |__rng| {
+                $(let $arg = $crate::Strategy::generate(&($strategy), __rng);)+
+                let __inputs = format!(
+                    concat!($(stringify!($arg), " = {:?}  ",)+),
+                    $(&$arg),+
+                );
+                let __result: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body ::core::result::Result::Ok(()) })();
+                match __result {
+                    Ok(()) => Ok(__inputs),
+                    Err(e) => Err((__inputs, e)),
+                }
+            });
+        }
+        $crate::__proptest_tests!([$config] $($rest)*);
+    };
+}
+
+pub mod prelude {
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_oneof, proptest, BoxedStrategy, Just, ProptestConfig,
+        Strategy,
+    };
+    pub use rand::rngs::StdRng;
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        /// Doc comments inside the block must parse (the riv suite has one).
+        #[test]
+        fn ranges_and_tuples(a in 1u64..100, pair in (0u16..=9, 5usize..8)) {
+            prop_assert!((1..100).contains(&a));
+            prop_assert!(pair.0 <= 9, "pair.0 was {}", pair.0);
+            prop_assert_eq!(pair.1 >= 5, true);
+        }
+
+        #[test]
+        fn vec_and_oneof(v in crate::collection::vec(0u32..10, 1..40),
+                         b in crate::bool::ANY) {
+            prop_assert!(!v.is_empty() && v.len() < 40);
+            prop_assert!(v.iter().all(|&x| x < 10));
+            let _ = b;
+        }
+
+        #[test]
+        fn mapped(x in (1u64..50).prop_map(|v| v * 2)) {
+            prop_assert!(x % 2 == 0);
+            prop_assert!(x < 100, "mapped value {} escaped", x);
+        }
+    }
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Cmd {
+        Put(u64),
+        Del(u64),
+    }
+
+    fn cmd() -> impl Strategy<Value = Cmd> {
+        prop_oneof![(1u64..20).prop_map(Cmd::Put), (1u64..20).prop_map(Cmd::Del),]
+    }
+
+    proptest! {
+        #[test]
+        fn oneof_covers_both_arms(cmds in crate::collection::vec(cmd(), 50..60)) {
+            let puts = cmds.iter().filter(|c| matches!(c, Cmd::Put(_))).count();
+            prop_assert!(puts > 0 && puts < cmds.len(), "one-sided draw: {puts}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failing_assert_panics_with_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig { cases: 4, ..ProptestConfig::default() })]
+            #[allow(unreachable_code)]
+            fn inner(x in 0u64..10) {
+                prop_assert!(x > 100, "x was only {}", x);
+            }
+        }
+        inner();
+    }
+}

@@ -1,0 +1,299 @@
+//! Minimal offline stand-in for the `rand` crate (0.8 API subset).
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the handful of `rand` entry points the suite actually
+//! uses: `StdRng::seed_from_u64`, `thread_rng`, `Rng::{gen, gen_bool,
+//! gen_range}` over integer ranges, and `SliceRandom::shuffle`. The
+//! generator is splitmix64 — statistically fine for workload generation
+//! and deterministic under a fixed seed, which is all the tests and
+//! benches rely on. Not cryptographic, not a general replacement.
+
+use std::ops::{Range, RangeInclusive};
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Core entropy source: everything else is derived from `next_u64`.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Values that can be drawn uniformly from the full output of the RNG
+/// (the `Standard` distribution in real rand).
+pub trait Standard: Sized {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for bool {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // Use a high bit: low bits of weak generators are the weakest.
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Range shapes accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+#[inline]
+fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    // Lemire's multiply-shift; span == 0 encodes "the full 2^64 range".
+    if span == 0 {
+        return rng.next_u64();
+    }
+    ((rng.next_u64() as u128 * span as u128) >> 64) as u64
+}
+
+/// Integer types [`Rng::gen_range`] can draw. The blanket range impls
+/// below stay generic over this trait (mirroring real rand's
+/// `SampleUniform`) so that `gen_range(0..n)` unifies the literal's type
+/// with the use site instead of falling back to `i32`.
+pub trait UniformInt: Copy + PartialOrd {
+    fn to_u64(self) -> u64;
+    fn from_u64(v: u64) -> Self;
+}
+
+macro_rules! uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            // Signed types sign-extend here, so the wrapping span/offset
+            // arithmetic below is correct for both families.
+            #[inline]
+            fn to_u64(self) -> u64 {
+                self as u64
+            }
+            #[inline]
+            fn from_u64(v: u64) -> Self {
+                v as $t
+            }
+        }
+    )*};
+}
+uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: UniformInt> SampleRange<T> for Range<T> {
+    #[inline]
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        let span = self.end.to_u64().wrapping_sub(self.start.to_u64());
+        T::from_u64(self.start.to_u64().wrapping_add(uniform_below(rng, span)))
+    }
+}
+
+impl<T: UniformInt> SampleRange<T> for RangeInclusive<T> {
+    #[inline]
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "gen_range: empty range");
+        let span = hi.to_u64().wrapping_sub(lo.to_u64()).wrapping_add(1);
+        T::from_u64(lo.to_u64().wrapping_add(uniform_below(rng, span)))
+    }
+}
+
+/// The user-facing sampling interface, blanket-implemented for every
+/// entropy source (including unsized ones behind `&mut`).
+pub trait Rng: RngCore {
+    #[inline]
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    #[inline]
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of range");
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Seeding interface; only the `seed_from_u64` entry point is provided.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// Deterministic splitmix64 generator standing in for rand's `StdRng`.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            splitmix64(&mut self.state)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        #[inline]
+        fn seed_from_u64(seed: u64) -> Self {
+            // One warm-up scramble so seeds 0 and 1 do not share a prefix.
+            let mut state = seed;
+            splitmix64(&mut state);
+            StdRng { state }
+        }
+    }
+
+    /// Per-call generator returned by [`crate::thread_rng`].
+    #[derive(Clone, Debug)]
+    pub struct ThreadRng(pub(crate) StdRng);
+
+    impl RngCore for ThreadRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+}
+
+/// A cheap, distinct-per-call generator. Unlike the real crate it is not
+/// OS-entropy seeded: each call mixes a process-global counter with the
+/// monotonic clock, which is enough to decorrelate concurrent users.
+pub fn thread_rng() -> rngs::ThreadRng {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let nonce = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let t = std::time::SystemTime::UNIX_EPOCH
+        .elapsed()
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    rngs::ThreadRng(rngs::StdRng::seed_from_u64(
+        t ^ nonce.rotate_left(32) ^ 0xA076_1D64_78BD_642F,
+    ))
+}
+
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Slice helpers; only `shuffle` is used by the suite.
+    pub trait SliceRandom {
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            // Fisher–Yates.
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use super::rngs::StdRng;
+    pub use super::seq::SliceRandom;
+    pub use super::{thread_rng, Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(10u64..20);
+            assert!((10..20).contains(&x));
+            let y = rng.gen_range(3usize..=5);
+            assert!((3..=5).contains(&y));
+            let z = rng.gen_range(0u16..=u16::MAX);
+            let _ = z;
+        }
+    }
+
+    #[test]
+    fn unit_interval_and_bool() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut trues = 0;
+        for _ in 0..10_000 {
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+            if rng.gen::<bool>() {
+                trues += 1;
+            }
+        }
+        assert!((3000..7000).contains(&trues), "bool wildly biased: {trues}");
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        use super::seq::SliceRandom;
+        let mut v: Vec<u64> = (0..100).collect();
+        let mut rng = StdRng::seed_from_u64(5);
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "identity shuffle is astronomically unlikely");
+    }
+
+    #[test]
+    fn works_through_unsized_bounds() {
+        // Mirrors the `R: Rng + ?Sized` bound in the ycsb zipf sampler.
+        fn draw<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+            rng.gen()
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        let f = draw(&mut rng);
+        assert!((0.0..1.0).contains(&f));
+    }
+}

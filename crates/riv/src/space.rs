@@ -216,6 +216,28 @@ impl RivSpace {
         pool.flush(off);
     }
 
+    /// Software prefetch hint for `words` words through a pointer. Resolves
+    /// via the DRAM chunk-base cache **only**: a cold cache entry would need
+    /// a persistent-table read (a real, accounted pmem access), which would
+    /// defeat the point of a hint — so the prefetch is simply dropped then.
+    /// Dangling or out-of-range pointers are ignored, never panics.
+    #[inline]
+    pub fn prefetch(&self, ptr: RivPtr, words: u64) {
+        if ptr.is_null() {
+            return;
+        }
+        let pool_id = ptr.pool() as usize;
+        let chunk = ptr.chunk() as usize;
+        if pool_id >= self.pools.len() || chunk >= self.max_chunks as usize {
+            return;
+        }
+        let cached = self.caches[pool_id][chunk].load(Ordering::Acquire);
+        if cached == 0 {
+            return;
+        }
+        self.pools[pool_id].prefetch(cached - 1 + ptr.offset() as u64, words);
+    }
+
     /// Flush (write back, no fence) every line overlapping
     /// `ptr .. ptr + words` — see [`Pool::flush_range`].
     #[inline]
