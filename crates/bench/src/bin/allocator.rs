@@ -52,7 +52,7 @@ fn run_one(magazine: usize, records: u64, threads: usize) -> RunOut {
         &d,
         UpSkipListOpts {
             keys_per_node: 1,
-            magazine,
+            magazine: Some(magazine),
             ..UpSkipListOpts::default()
         },
     );

@@ -167,9 +167,12 @@ pub fn run<I: KvIndex + ?Sized>(
 }
 
 /// Play back the run phase with consecutive reads grouped into
-/// [`KvIndex::get_batch`] calls of up to `batch` keys. Writes and scans
-/// flush the pending batch first, so per-thread program order is preserved
-/// and every operation still executes exactly once. Latency capture is not
+/// [`KvIndex::get_batch`] calls and consecutive writes (updates/inserts)
+/// grouped into [`KvIndex::insert_batch`] calls of up to `batch`
+/// operations — both through the trait, so structures with native batch
+/// paths use them. A read flushes a pending write group and vice versa,
+/// and scans/RMWs flush both, so per-thread program order is preserved and
+/// every operation still executes exactly once. Latency capture is not
 /// supported in batched mode (a batch has one timestamp, not one per op).
 pub fn run_batched<I: KvIndex + ?Sized>(
     index: &Arc<I>,
@@ -186,37 +189,51 @@ pub fn run_batched<I: KvIndex + ?Sized>(
             let index = Arc::clone(index);
             s.spawn(move || {
                 pmem::thread::register(t, (t as u16) % numa_nodes.max(1));
-                let mut pending: Vec<u64> = Vec::with_capacity(batch);
+                let mut reads: Vec<u64> = Vec::with_capacity(batch);
+                let mut writes: Vec<(u64, u64)> = Vec::with_capacity(batch);
+                let flush_reads = |reads: &mut Vec<u64>| {
+                    if !reads.is_empty() {
+                        std::hint::black_box(index.get_batch(reads));
+                        reads.clear();
+                    }
+                };
+                let flush_writes = |writes: &mut Vec<(u64, u64)>| {
+                    if !writes.is_empty() {
+                        std::hint::black_box(index.insert_batch(writes));
+                        writes.clear();
+                    }
+                };
                 for op in trace {
-                    if let Op::Read(k) = *op {
-                        pending.push(k);
-                        if pending.len() == batch {
-                            std::hint::black_box(index.get_batch(&pending));
-                            pending.clear();
-                        }
-                        continue;
-                    }
-                    if !pending.is_empty() {
-                        std::hint::black_box(index.get_batch(&pending));
-                        pending.clear();
-                    }
                     match *op {
-                        Op::Read(_) => unreachable!("handled above"),
+                        Op::Read(k) => {
+                            flush_writes(&mut writes);
+                            reads.push(k);
+                            if reads.len() == batch {
+                                flush_reads(&mut reads);
+                            }
+                        }
+                        Op::Update(k, v) | Op::Insert(k, v) => {
+                            flush_reads(&mut reads);
+                            writes.push((k, v));
+                            if writes.len() == batch {
+                                flush_writes(&mut writes);
+                            }
+                        }
                         Op::Scan(k, n) => {
+                            flush_reads(&mut reads);
+                            flush_writes(&mut writes);
                             std::hint::black_box(index.scan(k, n as usize));
                         }
                         Op::Rmw(k, v) => {
+                            flush_reads(&mut reads);
+                            flush_writes(&mut writes);
                             std::hint::black_box(index.get(k));
-                            index.insert(k, v);
-                        }
-                        Op::Update(k, v) | Op::Insert(k, v) => {
                             index.insert(k, v);
                         }
                     }
                 }
-                if !pending.is_empty() {
-                    std::hint::black_box(index.get_batch(&pending));
-                }
+                flush_reads(&mut reads);
+                flush_writes(&mut writes);
             });
         }
     });

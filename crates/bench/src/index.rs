@@ -34,6 +34,19 @@ pub trait KvIndex: Send + Sync {
     fn get_batch(&self, keys: &[u64]) -> Vec<Option<u64>> {
         keys.iter().map(|&k| self.get(k)).collect()
     }
+    /// Batched upsert, previous values in input order (the symmetric
+    /// counterpart of [`KvIndex::get_batch`]). The default loops
+    /// [`KvIndex::insert`]; structures with a native batch path override
+    /// it. A batch is *not* atomic — it is equivalent to applying the
+    /// pairs one at a time in input order.
+    fn insert_batch(&self, pairs: &[(u64, u64)]) -> Vec<Option<u64>> {
+        pairs.iter().map(|&(k, v)| self.insert(k, v)).collect()
+    }
+    /// Batched removal, removed values in input order. Default loops
+    /// [`KvIndex::remove`]; same non-atomicity caveat as `insert_batch`.
+    fn remove_batch(&self, keys: &[u64]) -> Vec<Option<u64>> {
+        keys.iter().map(|&k| self.remove(k)).collect()
+    }
 }
 
 impl KvIndex for UpSkipList {
@@ -54,6 +67,12 @@ impl KvIndex for UpSkipList {
     }
     fn get_batch(&self, keys: &[u64]) -> Vec<Option<u64>> {
         UpSkipList::get_batch(self, keys)
+    }
+    fn insert_batch(&self, pairs: &[(u64, u64)]) -> Vec<Option<u64>> {
+        UpSkipList::insert_batch(self, pairs)
+    }
+    fn remove_batch(&self, keys: &[u64]) -> Vec<Option<u64>> {
+        UpSkipList::remove_batch(self, keys)
     }
 }
 
@@ -170,9 +189,11 @@ pub struct UpSkipListOpts {
     pub shadow_capacity: usize,
     /// Random write-back: evict one in N dirty lines (0 = off).
     pub evict_one_in: u32,
-    /// Per-thread allocator magazine capacity (0 = one persisted log per
-    /// pop; the allocator experiment sweeps this on/off).
-    pub magazine: usize,
+    /// Per-thread allocator magazine capacity override. `None` keeps
+    /// [`ListBuilder`]'s default (the single authoritative source);
+    /// `Some(0)` forces one persisted log per pop — the allocator
+    /// experiment sweeps this explicitly.
+    pub magazine: Option<usize>,
 }
 
 impl Default for UpSkipListOpts {
@@ -184,7 +205,7 @@ impl Default for UpSkipListOpts {
             shadow: true,
             shadow_capacity: 0,
             evict_one_in: 0,
-            magazine: 8,
+            magazine: None,
         }
     }
 }
@@ -201,17 +222,52 @@ impl UpSkipListOpts {
 
 /// UPSkipList sized for the deployment, configured by `opts`.
 pub fn build_upskiplist(d: &Deployment, opts: UpSkipListOpts) -> Arc<UpSkipList> {
+    build_upskiplist_at(d, opts, 0)
+}
+
+/// [`build_upskiplist`] with the (single, un-striped) pool homed on a
+/// specific NUMA node — the serving layer places one shard per node.
+pub fn build_upskiplist_at(
+    d: &Deployment,
+    opts: UpSkipListOpts,
+    home_node: u16,
+) -> Arc<UpSkipList> {
     let mut cfg = sized_config(d, opts.keys_per_node);
     cfg.sorted_lookups = opts.sorted_lookups;
     cfg.fingers = opts.fingers;
     cfg.shadow = opts.shadow;
     let mut b = sized_builder(d, cfg, opts.evict_one_in);
-    b.magazine = opts.magazine;
+    b.home_node = home_node;
+    if let Some(m) = opts.magazine {
+        b.magazine = m;
+    }
     let list = b.create();
     if opts.shadow_capacity > 0 {
         list.set_shadow_tuning(opts.shadow_capacity, upskiplist::DEFAULT_SHADOW_REGIONS);
     }
     list
+}
+
+/// One UPSkipList per shard, shard `i`'s pool homed on node `i % nodes`
+/// and sized for an even share of the deployment's records (with slack for
+/// hash-partition imbalance). The E14 serving experiment builds its
+/// storage layer through this.
+pub fn build_upskiplist_shards(
+    d: &Deployment,
+    opts: UpSkipListOpts,
+    shards: u16,
+    nodes: u16,
+) -> Vec<Arc<UpSkipList>> {
+    assert!(shards >= 1 && nodes >= 1);
+    let per_shard = Deployment {
+        // 1.5x the even share: fnv1a partitions uniform keys well, but
+        // small shard counts still see a few percent of imbalance.
+        records: (d.records * 3 / 2 / shards as u64).max(1024),
+        ..*d
+    };
+    (0..shards)
+        .map(|i| build_upskiplist_at(&per_shard, opts, i % nodes))
+        .collect()
 }
 
 /// Tower height sized to the expected node count (the thesis tunes its
@@ -244,9 +300,11 @@ fn sized_builder(d: &Deployment, cfg: ListConfig, evict_one_in: u32) -> ListBuil
         evict_one_in,
         num_arenas: 8,
         blocks_per_chunk,
-        magazine: UpSkipListOpts::default().magazine,
         obs: d.obs,
         check: pmem::PmCheckLevel::Off,
+        // magazine (and any future allocator knob) comes from the builder's
+        // own default — `UpSkipListOpts` overrides it explicitly when set.
+        ..ListBuilder::default()
     }
 }
 

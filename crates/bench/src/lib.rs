@@ -22,6 +22,6 @@ pub mod sweep;
 pub use args::{default_thread_sweep, Args};
 pub use driver::{load, percentile, run, run_batched, run_metrics, RunResult};
 pub use index::{
-    build_bztree, build_hybridskip, build_pmdkskip, build_pool, build_upskiplist, Deployment,
-    KvIndex, UpSkipListOpts,
+    build_bztree, build_hybridskip, build_pmdkskip, build_pool, build_upskiplist,
+    build_upskiplist_at, build_upskiplist_shards, Deployment, KvIndex, UpSkipListOpts,
 };

@@ -65,6 +65,10 @@ pub struct ListBuilder {
     /// Stripe a single pool across this many NUMA nodes (Fig 5.4's
     /// "striped device"); ignored when `num_pools > 1`.
     pub striped_nodes: u16,
+    /// Home NUMA node for a single un-striped pool (`num_pools == 1`,
+    /// `striped_nodes <= 1`). The serving layer places each shard's pool
+    /// on its own node this way; ignored otherwise.
+    pub home_node: u16,
     pub mode: PersistenceMode,
     pub latency: LatencyModel,
     /// Random write-back probability denominator (0 = off).
@@ -92,6 +96,7 @@ impl Default for ListBuilder {
             num_pools: 1,
             pool_words: 1 << 22, // 32 MiB
             striped_nodes: 1,
+            home_node: 0,
             mode: PersistenceMode::Fast,
             latency: LatencyModel::default(),
             evict_one_in: 0,
@@ -105,22 +110,9 @@ impl Default for ListBuilder {
 }
 
 impl ListBuilder {
-    /// Migration shim for the pre-`ObsLevel` API. No internal callers
-    /// remain (the `pmcheck` PMS06 lint enforces that); scheduled for
-    /// removal once downstream users have migrated.
-    #[deprecated(
-        since = "0.1.0",
-        note = "set `obs` to ObsLevel::Counters / ObsLevel::Off instead; \
-                this shim will be removed in the next breaking release"
-    )]
-    pub fn collect_stats(mut self, on: bool) -> Self {
-        self.obs = if on {
-            ObsLevel::Counters
-        } else {
-            ObsLevel::Off
-        };
-        self
-    }
+    // The deprecated `collect_stats(bool)` shim was removed after the
+    // `ObsLevel` migration completed; set the `obs` field directly. The
+    // pmcheck PMS06 rule now reports any remaining caller as a removed API.
 
     /// Words per block: one node of maximal height, rounded to cache lines.
     fn block_words(&self) -> u64 {
@@ -153,7 +145,7 @@ impl ListBuilder {
                         stripe_words: 1 << 18,
                     }
                 } else {
-                    Placement::Node(0)
+                    Placement::Node(self.home_node)
                 };
                 Pool::new(
                     PoolConfig {

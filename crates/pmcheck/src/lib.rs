@@ -19,7 +19,7 @@
 //! | PMS03 | `compare_exchange*` whose *success* ordering is `Relaxed` |
 //! | PMS04 | raw RIV offset arithmetic (`.raw() +`, `from_raw(a + b)`) outside the `riv` crate |
 //! | PMS05 | test calls `simulate_crash*` but never recovers/asserts afterwards |
-//! | PMS06 | use of the deprecated `collect_stats` shim instead of `ObsLevel` |
+//! | PMS06 | use of the removed `collect_stats` API (replaced by `ObsLevel`) |
 //! | PMS07 | `exempt_scope("tag")` with a tag not sanctioned in `pmcheck.toml` |
 //!
 //! PMS01/02/03/04 apply to non-test code only (crash tests legitimately
@@ -69,7 +69,7 @@ pub const RULES: &[(&str, &str)] = &[
         "PMS05",
         "simulate_crash in a test without a recovery assertion",
     ),
-    ("PMS06", "deprecated collect_stats shim (use ObsLevel)"),
+    ("PMS06", "removed collect_stats API (use ObsLevel)"),
     ("PMS07", "exempt_scope tag not sanctioned in pmcheck.toml"),
 ];
 
@@ -751,17 +751,19 @@ pub fn lint_file(rel: &str, src: &str, allow: &Allowlist) -> Vec<Finding> {
         }
     }
 
-    // PMS06 — the deprecated collect_stats shim (its definition lives in
-    // core/src/list.rs and is exempt; everything else must use ObsLevel).
-    if !rel.ends_with("core/src/list.rs") {
-        for c in occurrences(&stripped, 0..stripped.len(), ".collect_stats(") {
-            push(
-                "PMS06",
-                c,
-                fname(c),
-                "deprecated collect_stats shim — set `obs: ObsLevel::...` instead".into(),
-            );
-        }
+    // PMS06 — the `collect_stats` shim is a removed API: the deprecated
+    // `ListBuilder::collect_stats(bool)` migration shim was deleted once
+    // every caller moved to `ObsLevel`, so any occurrence (the definition
+    // included) is now a finding.
+    for c in occurrences(&stripped, 0..stripped.len(), ".collect_stats(") {
+        push(
+            "PMS06",
+            c,
+            fname(c),
+            "collect_stats was removed with the ObsLevel migration — set \
+             `obs: ObsLevel::...` instead"
+                .into(),
+        );
     }
 
     // PMS07 — every exempt_scope tag outside tests must be sanctioned in

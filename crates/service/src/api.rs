@@ -1,0 +1,164 @@
+//! The request/response surface of the serving layer.
+//!
+//! Clients speak [`Request`]/[`Response`]; every submission returns a
+//! [`Ticket`] the client waits on (closed-loop) or drops (open-loop — the
+//! service still records completion latency and bumps the completion
+//! counter when the shard worker fills the ticket).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use obs::{Counter, Histogram};
+
+/// One client request. Multi-key requests may span shards; each shard's
+/// slice executes atomically on that shard, conflict-serialized by the
+/// shard's key-range latch manager (see the `latch` module).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Point lookup.
+    Get(u64),
+    /// Upsert; responds with the previous value.
+    Put(u64, u64),
+    /// Tombstone delete; responds with the removed value.
+    Delete(u64),
+    /// Ordered range scan over the whole key space: up to `limit` live
+    /// pairs with keys ≥ `from` (broadcast to every shard and merged).
+    Scan { from: u64, limit: usize },
+    /// Batched lookup; values come back in input order.
+    MultiGet(Vec<u64>),
+    /// Batched upsert; previous values come back in input order.
+    MultiPut(Vec<(u64, u64)>),
+}
+
+/// The reply to a [`Request`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// `Get`/`Put`/`Delete`: the (previous) value, if any.
+    Value(Option<u64>),
+    /// `MultiGet`/`MultiPut`: per-key values in input order.
+    Values(Vec<Option<u64>>),
+    /// `Scan`: merged `(key, value)` pairs, ascending.
+    Entries(Vec<(u64, u64)>),
+}
+
+pub(crate) struct TicketInner {
+    slot: Mutex<Option<Response>>,
+    cv: Condvar,
+    filled: AtomicBool,
+    submitted: Instant,
+    /// Request-completion latency sink (`svc.lat.request`).
+    lat: Option<Arc<Histogram>>,
+    /// Global completion counter (`svc.completed`).
+    completed: Option<Arc<Counter>>,
+}
+
+/// The client half of a submitted request.
+pub struct Ticket {
+    inner: Arc<TicketInner>,
+}
+
+/// The service half: fills the ticket exactly once. Cloned across shard
+/// sub-tasks by the multi-key aggregators; only the final `complete` call
+/// fills the slot.
+#[derive(Clone)]
+pub(crate) struct Completion {
+    inner: Arc<TicketInner>,
+}
+
+pub(crate) fn ticket(
+    lat: Option<Arc<Histogram>>,
+    completed: Option<Arc<Counter>>,
+) -> (Ticket, Completion) {
+    let inner = Arc::new(TicketInner {
+        slot: Mutex::new(None),
+        cv: Condvar::new(),
+        filled: AtomicBool::new(false),
+        submitted: Instant::now(),
+        lat,
+        completed,
+    });
+    (
+        Ticket {
+            inner: Arc::clone(&inner),
+        },
+        Completion { inner },
+    )
+}
+
+impl Ticket {
+    /// Block until the response arrives and take it.
+    pub fn wait(self) -> Response {
+        let mut slot = self.inner.slot.lock().unwrap();
+        loop {
+            if let Some(r) = slot.take() {
+                return r;
+            }
+            slot = self.inner.cv.wait(slot).unwrap();
+        }
+    }
+
+    /// Non-blocking completion poll (closed-loop load generators multiplex
+    /// many logical clients over one thread with this). Returns the
+    /// response at most once.
+    pub fn try_take(&self) -> Option<Response> {
+        if !self.inner.filled.load(Ordering::Acquire) {
+            return None;
+        }
+        self.inner.slot.lock().unwrap().take()
+    }
+}
+
+impl Completion {
+    /// Fill the ticket, record its completion latency, and wake the
+    /// waiter. Idempotent: later calls on a filled ticket are ignored.
+    pub(crate) fn complete(&self, r: Response) {
+        let mut slot = self.inner.slot.lock().unwrap();
+        if self.inner.filled.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        if let Some(h) = &self.inner.lat {
+            h.record(self.inner.submitted.elapsed().as_nanos() as u64);
+        }
+        if let Some(c) = &self.inner.completed {
+            c.inc();
+        }
+        *slot = Some(r);
+        self.inner.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ticket_waits_for_completion() {
+        let (t, c) = ticket(None, None);
+        assert_eq!(t.try_take(), None);
+        c.complete(Response::Value(Some(7)));
+        assert_eq!(t.try_take(), Some(Response::Value(Some(7))));
+        assert_eq!(t.try_take(), None, "a response is taken at most once");
+    }
+
+    #[test]
+    fn completion_is_idempotent_and_counts() {
+        let hist = Arc::new(Histogram::new());
+        let done = Arc::new(Counter::new());
+        let (t, c) = ticket(Some(Arc::clone(&hist)), Some(Arc::clone(&done)));
+        c.complete(Response::Value(None));
+        c.complete(Response::Value(Some(1))); // ignored
+        assert_eq!(t.wait(), Response::Value(None));
+        assert_eq!(hist.count(), 1);
+        assert_eq!(done.value(), 1);
+    }
+
+    #[test]
+    fn wait_blocks_until_another_thread_completes() {
+        let (t, c) = ticket(None, None);
+        let h = std::thread::spawn(move || t.wait());
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        c.complete(Response::Values(vec![Some(1), None]));
+        assert_eq!(h.join().unwrap(), Response::Values(vec![Some(1), None]));
+    }
+}

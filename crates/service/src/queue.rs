@@ -1,0 +1,78 @@
+//! Per-shard admission queue: a bounded MPSC-ish queue the router pushes
+//! [`Task`]s into and shard workers drain in batches.
+//!
+//! The bound is the admission-control knob: an open-loop load generator
+//! pushing past a shard's service rate blocks here instead of growing an
+//! unbounded backlog, so tail latency measures queueing up to `cap`, not
+//! memory exhaustion.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+use crate::shard::Task;
+
+struct State {
+    q: VecDeque<Task>,
+    closed: bool,
+}
+
+pub(crate) struct AdmissionQueue {
+    state: Mutex<State>,
+    nonempty: Condvar,
+    space: Condvar,
+    cap: usize,
+}
+
+impl AdmissionQueue {
+    pub fn new(cap: usize) -> Self {
+        Self {
+            state: Mutex::new(State {
+                q: VecDeque::new(),
+                closed: false,
+            }),
+            nonempty: Condvar::new(),
+            space: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Enqueue a task, blocking while the queue is at capacity. Returns
+    /// `false` (dropping the task) when the queue is closed.
+    pub fn push(&self, task: Task) -> bool {
+        let mut s = self.state.lock().unwrap();
+        while s.q.len() >= self.cap && !s.closed {
+            s = self.space.wait(s).unwrap();
+        }
+        if s.closed {
+            return false;
+        }
+        s.q.push_back(task);
+        self.nonempty.notify_one();
+        true
+    }
+
+    /// Pop up to `max` tasks into `out`, blocking while empty. Returns
+    /// the queue depth *before* the pop (the worker's queue-depth sample);
+    /// `out` left empty means the queue is closed and fully drained.
+    pub fn pop_batch(&self, max: usize, out: &mut Vec<Task>) -> usize {
+        debug_assert!(out.is_empty());
+        let mut s = self.state.lock().unwrap();
+        while s.q.is_empty() && !s.closed {
+            s = self.nonempty.wait(s).unwrap();
+        }
+        let depth = s.q.len();
+        out.extend(s.q.drain(..max.max(1).min(depth)));
+        if !out.is_empty() {
+            self.space.notify_all();
+        }
+        depth
+    }
+
+    /// Close the queue: pending tasks still drain, new pushes fail.
+    pub fn close(&self) {
+        let mut s = self.state.lock().unwrap();
+        s.closed = true;
+        self.nonempty.notify_all();
+        self.space.notify_all();
+    }
+}

@@ -1,0 +1,140 @@
+//! Property and stress tests for the key-range latch manager.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use service::{normalize, LatchGuard, LatchManager, Range};
+
+fn ranges_overlap(a: &[Range], b: &[Range]) -> bool {
+    a.iter()
+        .any(|&(alo, ahi)| b.iter().any(|&(blo, bhi)| alo <= bhi && blo <= ahi))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    /// Normalization is idempotent, ordered, and internally disjoint
+    /// (no two output ranges overlap or touch), and it covers exactly
+    /// the input keys it was given.
+    #[test]
+    fn normalize_is_canonical(
+        raw in proptest::collection::vec((0u64..200, 0u64..32), 0..20),
+    ) {
+        let ranges: Vec<Range> = raw.iter().map(|&(lo, w)| (lo, lo + w)).collect();
+        let n = normalize(&ranges);
+        prop_assert_eq!(normalize(&n), n.clone(), "normalize must be idempotent");
+        for pair in n.windows(2) {
+            prop_assert!(
+                pair[0].1.saturating_add(1) < pair[1].0,
+                "output ranges must be sorted with a gap: {:?}", n
+            );
+        }
+        for k in 0u64..=250 {
+            let in_raw = ranges.iter().any(|&(lo, hi)| (lo..=hi).contains(&k));
+            let in_norm = n.iter().any(|&(lo, hi)| (lo..=hi).contains(&k));
+            prop_assert_eq!(in_raw, in_norm, "key {} coverage changed", k);
+        }
+    }
+
+    /// Under any interleaving of try_acquire / release, the set of held
+    /// latches stays pairwise disjoint, and a failed try_acquire always
+    /// has a genuine conflict with some held latch.
+    #[test]
+    fn held_latches_never_overlap(
+        steps in proptest::collection::vec(
+            (proptest::bool::ANY, 0u64..120, 0u64..16, 0u64..8), 1..120),
+    ) {
+        let m = LatchManager::new();
+        let mut guards: Vec<(Vec<Range>, LatchGuard<'_>)> = Vec::new();
+        for (acquire, lo, w, pick) in steps {
+            if acquire || guards.is_empty() {
+                let want = normalize(&[(lo, lo + w), (lo + w + 2, lo + w + 2 + w)]);
+                let held_before = m.held_ranges();
+                match m.try_acquire(&want) {
+                    Some(g) => guards.push((want, g)),
+                    None => prop_assert!(
+                        ranges_overlap(&held_before, &want),
+                        "try_acquire failed with no conflicting holder: want {:?} held {:?}",
+                        want, held_before
+                    ),
+                }
+            } else {
+                let i = (pick as usize) % guards.len();
+                guards.swap_remove(i);
+            }
+            // Invariant: everything held is pairwise disjoint.
+            for (i, (a, _)) in guards.iter().enumerate() {
+                for (b, _) in guards.iter().skip(i + 1) {
+                    prop_assert!(
+                        !ranges_overlap(a, b),
+                        "held latches overlap: {:?} vs {:?}", a, b
+                    );
+                }
+            }
+            prop_assert_eq!(m.held_ranges().len(),
+                guards.iter().map(|(r, _)| r.len()).sum::<usize>());
+        }
+    }
+}
+
+/// Multi-threaded no-deadlock smoke: blocking acquires of randomly
+/// overlapping range sets from many threads must all complete. The
+/// all-or-nothing protocol means no hold-and-wait, so the only way this
+/// test times out is a latch-manager bug.
+#[test]
+fn concurrent_blocking_acquires_never_deadlock() {
+    const THREADS: usize = 8;
+    const ROUNDS: usize = 200;
+    let m = Arc::new(LatchManager::new());
+    let done = Arc::new(AtomicUsize::new(0));
+    let deadline_hit = Arc::new(AtomicBool::new(false));
+
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let m = Arc::clone(&m);
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(0xD00D + t as u64);
+                for _ in 0..ROUNDS {
+                    // Small key universe (0..64) so conflicts are common.
+                    let n = rng.gen_range(1..4usize);
+                    let ranges: Vec<Range> = (0..n)
+                        .map(|_| {
+                            let lo = rng.gen_range(0..60u64);
+                            (lo, lo + rng.gen_range(0..8u64))
+                        })
+                        .collect();
+                    let g = m.acquire(&ranges);
+                    std::hint::black_box(&g);
+                    drop(g);
+                }
+                done.fetch_add(1, Ordering::SeqCst);
+            })
+        })
+        .collect();
+
+    // Watchdog: everything must finish well inside the timeout.
+    let t0 = Instant::now();
+    while done.load(Ordering::SeqCst) < THREADS {
+        if t0.elapsed() > Duration::from_secs(60) {
+            deadline_hit.store(true, Ordering::SeqCst);
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(
+        !deadline_hit.load(Ordering::SeqCst),
+        "latch acquires deadlocked: {}/{} threads finished, held {:?}",
+        done.load(Ordering::SeqCst),
+        THREADS,
+        m.held_ranges()
+    );
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert!(m.held_ranges().is_empty());
+}

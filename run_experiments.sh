@@ -21,4 +21,5 @@ $T/metrics --records 50000 --ops 100000 --threads 4 --batch 32 --guard --json $R
 $T/crash_sweep --smoke --pmcheck > $R/e12_pmcheck_sweep.txt 2>>$R/e12.log
 $T/crash_sweep --structures pmalloc-mag --points 24 --seeds 4 --residue-seeds 5 --ops 64 > $R/e12_lease_deep.txt 2>>$R/e12.log
 $T/allocator --gate --json $R/BENCH_allocator.json > $R/e13_allocator.csv 2>$R/e13.log
+$T/serving --gate --json $R/BENCH_serving.json > $R/e14_serving.csv 2>$R/e14.log
 echo ALL_DONE
