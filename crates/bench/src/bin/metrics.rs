@@ -20,6 +20,11 @@
 //! fell below `R` × baseline (default 0.5 — generous on purpose: the
 //! guard is a tripwire for the detector accidentally going hot at `Off`,
 //! not a precision benchmark).
+//!
+//! `--lint-time [--lint-budget SECS]` times the static persist-ordering
+//! lint (the whole interprocedural pass) over the workspace and fails if
+//! it exceeds the budget (default 5 s) — the lint blocks CI, so its wall
+//! time is guarded like any other regression.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -118,6 +123,21 @@ fn baseline_mixed_mops(path: &str, structure: &str) -> Option<f64> {
         .find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())
         .unwrap_or(tail.len());
     tail[..end].parse().ok()
+}
+
+/// Walk up from the cwd to the directory holding `crates/` — same
+/// discovery the pmcheck binary uses, so `--lint-time` works from any
+/// directory inside the workspace.
+fn workspace_root() -> Option<std::path::PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("crates").is_dir() && dir.join("Cargo.toml").is_file() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
 }
 
 fn main() {
@@ -219,6 +239,42 @@ fn main() {
         );
     }
 
+    // --lint-time: the static persist-ordering lint blocks CI, so its
+    // wall time is a budgeted metric like any throughput number. The
+    // interprocedural pass (summaries + call-graph fixpoints) must stay
+    // well under the budget or it gets demoted to a nightly job.
+    let mut lint_fail = false;
+    if args.flag("lint-time") {
+        let budget: f64 = args
+            .get("lint-budget")
+            .map(|v| v.parse().expect("--lint-budget must be a float (seconds)"))
+            .unwrap_or(5.0);
+        match workspace_root() {
+            Some(root) => {
+                let t0 = Instant::now();
+                let lint = pmcheck::lint_workspace(&root).expect("pmcheck lint failed");
+                let secs = t0.elapsed().as_secs_f64();
+                report.push("pmcheck", "all", "lint_secs", secs);
+                report.push("pmcheck", "all", "lint_files", lint.files as f64);
+                eprintln!(
+                    "pmcheck lint: {} files, {} violations, {} proven in {secs:.3} s \
+                     (budget {budget:.1} s)",
+                    lint.files,
+                    lint.violations.len(),
+                    lint.proven.len()
+                );
+                if secs > budget {
+                    eprintln!(
+                        "pmcheck lint: FAIL — analysis pass exceeded its {budget:.1} s budget; \
+                         it is too slow to keep blocking in CI"
+                    );
+                    lint_fail = true;
+                }
+            }
+            None => eprintln!("pmcheck lint: workspace root not found — skipping timing"),
+        }
+    }
+
     print!("{}", report.to_csv());
     if let Some(path) = args.get("json") {
         write_report(&report, path);
@@ -253,5 +309,8 @@ fn main() {
                 );
             }
         }
+    }
+    if lint_fail {
+        std::process::exit(1);
     }
 }

@@ -136,13 +136,16 @@ impl UpSkipList {
                 continue;
             }
             let old = self.update(node, t.key_index, TOMBSTONE);
-            rwlock::read_unlock(self.space(), node);
             if old != TOMBSTONE {
                 // The key's liveness changed: age out cached towers so
                 // shadow regions re-image (and compaction candidates are
-                // not navigated to via stale hints).
+                // not navigated to via stale hints). The bump must land
+                // before the unlock — once the lock is released a reader
+                // may traverse under the old epoch and cache hints that
+                // skip the tombstoned key (PMS09).
                 self.invalidate_structure();
             }
+            rwlock::read_unlock(self.space(), node);
             return (old != TOMBSTONE).then_some(old);
         }
     }

@@ -21,13 +21,29 @@
 //! | PMS05 | test calls `simulate_crash*` but never recovers/asserts afterwards |
 //! | PMS06 | use of the removed `collect_stats` API (replaced by `ObsLevel`) |
 //! | PMS07 | `exempt_scope("tag")` with a tag not sanctioned in `pmcheck.toml` |
+//! | PMS08 | Release-published atomic loaded `Relaxed` in a persist-affecting function |
+//! | PMS09 | structure mutation with no reachable `StructureEpoch` bump before unlock |
+//! | PMS10 | inconsistent lock-acquisition order across `crates/service` |
+//! | PMS11 | volatile cache (finger/magazine) written before the publish CAS |
 //!
 //! PMS01/02/03/04 apply to non-test code only (crash tests legitimately
 //! leave writes unflushed); PMS05 applies to test code only; PMS06/07
 //! apply everywhere outside `#[cfg(test)]` regions.
+//!
+//! PMS01/PMS02/PMS05 are *interprocedural*: [`lint_sources`] extracts
+//! per-function event summaries ([`summary`]), runs a call-graph fixpoint
+//! ([`callgraph`]) and (a) discharges intra-procedural findings whose
+//! persist/assert obligation every caller provably meets — printed as
+//! "proven" instead of allowlisted — and (b) reports obligations that
+//! escape through call boundaries. PMS08–11 ([`rules`]) run over the same
+//! summaries.
 
 use std::fmt;
 use std::path::{Path, PathBuf};
+
+pub mod callgraph;
+pub mod rules;
+pub mod summary;
 
 // ---------------------------------------------------------------------------
 // Findings
@@ -71,6 +87,22 @@ pub const RULES: &[(&str, &str)] = &[
     ),
     ("PMS06", "removed collect_stats API (use ObsLevel)"),
     ("PMS07", "exempt_scope tag not sanctioned in pmcheck.toml"),
+    (
+        "PMS08",
+        "Release-published atomic loaded Relaxed in a persist-affecting function",
+    ),
+    (
+        "PMS09",
+        "structure mutation with no StructureEpoch bump before unlock",
+    ),
+    (
+        "PMS10",
+        "inconsistent lock-acquisition order in crates/service",
+    ),
+    (
+        "PMS11",
+        "volatile cache written before the persistent commit point",
+    ),
 ];
 
 // ---------------------------------------------------------------------------
@@ -306,6 +338,9 @@ pub fn strip_source(src: &str, keep_strings: bool) -> String {
                         i += 1;
                     }
                 }
+                // A trailing `"\` can step past the end; clamp before
+                // blanking so malformed input cannot panic the lint.
+                i = i.min(b.len());
                 if !keep_strings {
                     blank(&mut out, start + 1, i.saturating_sub(1).max(start + 1));
                 }
@@ -341,7 +376,16 @@ pub fn strip_source(src: &str, keep_strings: bool) -> String {
                 // has a closing quote before a non-ident char.
                 let rest = &b[i + 1..];
                 let close = if rest.first() == Some(&b'\\') {
-                    src[i + 2..].find('\'').map(|j| i + 2 + j)
+                    // The escaped character sits at i + 2, so the closing
+                    // quote search must start at i + 3 — searching from
+                    // i + 2 would let `'\''` "close" on its own escaped
+                    // quote and leave the real terminator to poison the
+                    // rest of the scan as a bogus literal/lifetime.
+                    if i + 3 <= b.len() {
+                        src[i + 3..].find('\'').map(|j| i + 3 + j)
+                    } else {
+                        None
+                    }
                 } else if rest.len() >= 2 && rest[1] == b'\'' {
                     Some(i + 2)
                 } else {
@@ -377,6 +421,16 @@ impl LineMap {
     }
     pub fn line(&self, byte: usize) -> usize {
         self.0.partition_point(|&n| n < byte) + 1
+    }
+
+    /// Byte offset where the line containing `byte` starts.
+    pub fn line_start(&self, byte: usize) -> usize {
+        let i = self.0.partition_point(|&n| n < byte);
+        if i == 0 {
+            0
+        } else {
+            self.0[i - 1] + 1
+        }
     }
 }
 
@@ -470,7 +524,7 @@ fn enclosing(fns: &[FnSpan], byte: usize) -> Option<&FnSpan> {
 // ---------------------------------------------------------------------------
 
 /// Byte offsets of every occurrence of `needle` in `hay[range]`.
-fn occurrences(hay: &str, range: std::ops::Range<usize>, needle: &str) -> Vec<usize> {
+pub(crate) fn occurrences(hay: &str, range: std::ops::Range<usize>, needle: &str) -> Vec<usize> {
     let mut out = Vec::new();
     let mut i = range.start;
     while let Some(j) = hay[i..range.end].find(needle) {
@@ -480,8 +534,8 @@ fn occurrences(hay: &str, range: std::ops::Range<usize>, needle: &str) -> Vec<us
     out
 }
 
-const WRITE_TOKENS: &[&str] = &[".write(", ".write_slice(", ".fetch_add("];
-const FLUSH_TOKENS: &[&str] = &[
+pub(crate) const WRITE_TOKENS: &[&str] = &[".write(", ".write_slice(", ".fetch_add("];
+pub(crate) const FLUSH_TOKENS: &[&str] = &[
     ".persist(",
     ".flush(",
     ".flush_range(",
@@ -490,8 +544,8 @@ const FLUSH_TOKENS: &[&str] = &[
     "mark_all_persisted",
     ".commit(",
 ];
-const CAS_TOKENS: &[&str] = &[".cas(", ".pmwcas("];
-const RECOVERY_TOKENS: &[&str] = &[
+pub(crate) const CAS_TOKENS: &[&str] = &[".cas(", ".pmwcas("];
+pub(crate) const RECOVERY_TOKENS: &[&str] = &[
     "recover",
     "assert",
     "verify",
@@ -501,7 +555,7 @@ const RECOVERY_TOKENS: &[&str] = &[
 
 /// The argument list of the call opening at `open` (the `(`), split at
 /// top-level commas. Returns `None` if the parens never close.
-fn call_args(stripped: &str, open: usize) -> Option<Vec<&str>> {
+pub(crate) fn call_args(stripped: &str, open: usize) -> Option<Vec<&str>> {
     let b = stripped.as_bytes();
     debug_assert_eq!(b[open], b'(');
     let mut depth = 0usize;
@@ -796,13 +850,60 @@ pub fn lint_file(rel: &str, src: &str, allow: &Allowlist) -> Vec<Finding> {
 // Workspace driver
 // ---------------------------------------------------------------------------
 
+/// Result of the interprocedural lint over a set of sources.
+pub struct SourceLint {
+    /// Findings that survived the call-graph pass (pre-allowlist).
+    pub findings: Vec<Finding>,
+    /// Intra-procedural findings *discharged* by a call-graph proof,
+    /// paired with the proof text.
+    pub proven: Vec<(Finding, String)>,
+}
+
+/// Lint a set of `(workspace-relative path, source)` pairs as one program:
+/// per-file token rules first, then the call-graph fixpoint — which
+/// discharges PMS01/PMS05 findings whose obligation every caller provably
+/// meets and adds the interprocedural PMS01/PMS02/PMS05 findings — then
+/// the summary-level rules PMS08–11. Findings are deduplicated by
+/// `(rule, file, line)` and sorted.
+pub fn lint_sources(files: &[(String, String)], allow: &Allowlist) -> SourceLint {
+    let mut intra: Vec<Finding> = Vec::new();
+    for (rel, src) in files {
+        intra.extend(lint_file(rel, src, allow));
+    }
+    let (infos, fns) = summary::summarize_all(files);
+    let analysis = callgraph::Analysis::build(&infos, &fns);
+    let mut findings = Vec::new();
+    let mut proven = Vec::new();
+    let interproc = analysis.interproc_findings(&intra);
+    for f in intra {
+        let proof = match f.rule {
+            "PMS01" => analysis.caller_persists(&f.function),
+            "PMS05" => analysis.caller_asserts(&f.function),
+            _ => None,
+        };
+        match proof {
+            Some(p) => proven.push((f, p)),
+            None => findings.push(f),
+        }
+    }
+    findings.extend(interproc);
+    findings.extend(rules::check(&analysis));
+    findings
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    findings.dedup_by(|a, b| a.rule == b.rule && a.file == b.file && a.line == b.line);
+    SourceLint { findings, proven }
+}
+
 /// Result of linting the whole workspace.
 pub struct LintReport {
     /// Findings not covered by the allowlist — these fail the build.
     pub violations: Vec<Finding>,
     /// Findings suppressed by an allowlist entry.
     pub allowed: Vec<(Finding, String)>,
-    /// Allowlist entries that matched nothing (stale — warn, don't fail).
+    /// Findings discharged by the interprocedural pass (with proof text).
+    pub proven: Vec<(Finding, String)>,
+    /// Allowlist entries that matched nothing (stale; `--deny-stale`
+    /// promotes these to hard errors).
     pub stale_allows: Vec<AllowEntry>,
     /// Files scanned.
     pub files: usize,
@@ -844,13 +945,7 @@ pub fn lint_workspace(root: &Path) -> Result<LintReport, String> {
     let mut files = Vec::new();
     rust_files(&root.join("crates"), &mut files);
     files.sort();
-    let mut report = LintReport {
-        violations: Vec::new(),
-        allowed: Vec::new(),
-        stale_allows: Vec::new(),
-        files: files.len(),
-    };
-    let mut used = vec![false; allow.allows.len()];
+    let mut sources = Vec::with_capacity(files.len());
     for path in &files {
         let rel = path
             .strip_prefix(root)
@@ -859,19 +954,29 @@ pub fn lint_workspace(root: &Path) -> Result<LintReport, String> {
             .replace('\\', "/");
         let src = std::fs::read_to_string(path)
             .map_err(|e| format!("reading {}: {e}", path.display()))?;
-        for f in lint_file(&rel, &src, &allow) {
-            match allow.permits(&f) {
-                Some(entry) => {
-                    let idx = allow
-                        .allows
-                        .iter()
-                        .position(|a| std::ptr::eq(a, entry))
-                        .unwrap();
-                    used[idx] = true;
-                    report.allowed.push((f, entry.reason.clone()));
-                }
-                None => report.violations.push(f),
+        sources.push((rel, src));
+    }
+    let lint = lint_sources(&sources, &allow);
+    let mut report = LintReport {
+        violations: Vec::new(),
+        allowed: Vec::new(),
+        proven: lint.proven,
+        stale_allows: Vec::new(),
+        files: sources.len(),
+    };
+    let mut used = vec![false; allow.allows.len()];
+    for f in lint.findings {
+        match allow.permits(&f) {
+            Some(entry) => {
+                let idx = allow
+                    .allows
+                    .iter()
+                    .position(|a| std::ptr::eq(a, entry))
+                    .unwrap();
+                used[idx] = true;
+                report.allowed.push((f, entry.reason.clone()));
             }
+            None => report.violations.push(f),
         }
     }
     for (i, entry) in allow.allows.iter().enumerate() {

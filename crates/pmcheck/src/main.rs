@@ -2,12 +2,20 @@
 //! workspace. Exits nonzero on any finding not covered by `pmcheck.toml`.
 //!
 //! ```text
-//! pmcheck lint [--root DIR] [--verbose]   # scan crates/, apply allowlist
+//! pmcheck lint [--root DIR] [--verbose] [--json] [--github] [--deny-stale]
 //! pmcheck rules                           # list rule ids
 //! ```
+//!
+//! `--json` prints a machine-readable report on stdout (findings, proofs,
+//! allowlist use, stale entries) for CI tooling; `--github` additionally
+//! emits GitHub Actions `::error`/`::warning` workflow annotations; and
+//! `--deny-stale` promotes stale-allowlist warnings to hard failures so
+//! the allowlist cannot rot once the analysis proves an entry.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+
+use pmcheck::Finding;
 
 fn workspace_root(explicit: Option<PathBuf>) -> Option<PathBuf> {
     if let Some(r) = explicit {
@@ -26,15 +34,52 @@ fn workspace_root(explicit: Option<PathBuf>) -> Option<PathBuf> {
     }
 }
 
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn finding_json(f: &Finding, note: Option<&str>) -> String {
+    let mut s = format!(
+        "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"function\":\"{}\",\"message\":\"{}\"",
+        f.rule,
+        json_escape(&f.file),
+        f.line,
+        json_escape(&f.function),
+        json_escape(&f.message)
+    );
+    if let Some(n) = note {
+        s.push_str(&format!(",\"note\":\"{}\"", json_escape(n)));
+    }
+    s.push('}');
+    s
+}
+
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let cmd = args.next().unwrap_or_else(|| "lint".into());
     let mut root = None;
     let mut verbose = false;
+    let mut json = false;
+    let mut github = false;
+    let mut deny_stale = false;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--root" => root = args.next().map(PathBuf::from),
             "--verbose" | "-v" => verbose = true,
+            "--json" => json = true,
+            "--github" => github = true,
+            "--deny-stale" => deny_stale = true,
             other => {
                 eprintln!("pmcheck: unknown argument `{other}`");
                 return ExitCode::from(2);
@@ -61,27 +106,90 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             };
-            if verbose {
-                for (f, reason) in &report.allowed {
-                    println!("allowed: {f} ({reason})");
+            let stale_fail = deny_stale && !report.stale_allows.is_empty();
+            if json {
+                let items = |v: &[(Finding, String)]| {
+                    v.iter()
+                        .map(|(f, why)| finding_json(f, Some(why)))
+                        .collect::<Vec<_>>()
+                        .join(",")
+                };
+                let stales = report
+                    .stale_allows
+                    .iter()
+                    .map(|e| {
+                        format!(
+                            "{{\"rule\":\"{}\",\"path\":\"{}\",\"function\":{}}}",
+                            json_escape(&e.rule),
+                            json_escape(&e.path),
+                            match &e.function {
+                                Some(f) => format!("\"{}\"", json_escape(f)),
+                                None => "null".into(),
+                            }
+                        )
+                    })
+                    .collect::<Vec<_>>()
+                    .join(",");
+                println!(
+                    "{{\"files\":{},\"violations\":[{}],\"allowed\":[{}],\"proven\":[{}],\
+                     \"stale_allows\":[{}],\"ok\":{}}}",
+                    report.files,
+                    report
+                        .violations
+                        .iter()
+                        .map(|f| finding_json(f, None))
+                        .collect::<Vec<_>>()
+                        .join(","),
+                    items(&report.allowed),
+                    items(&report.proven),
+                    stales,
+                    report.violations.is_empty() && !stale_fail
+                );
+            } else {
+                if verbose {
+                    for (f, reason) in &report.allowed {
+                        println!("allowed: {f} ({reason})");
+                    }
+                    for (f, proof) in &report.proven {
+                        println!("proven: {f} ({proof})");
+                    }
                 }
+                for f in &report.violations {
+                    println!("{f}");
+                }
+                println!(
+                    "pmcheck: {} files, {} violations, {} allowlisted, {} proven",
+                    report.files,
+                    report.violations.len(),
+                    report.allowed.len(),
+                    report.proven.len()
+                );
             }
             for entry in &report.stale_allows {
                 eprintln!(
-                    "pmcheck: warning: stale allowlist entry {} {} matches nothing",
-                    entry.rule, entry.path
+                    "pmcheck: {}: stale allowlist entry {} {} matches nothing",
+                    if deny_stale { "error" } else { "warning" },
+                    entry.rule,
+                    entry.path
                 );
             }
-            for f in &report.violations {
-                println!("{f}");
+            if github {
+                for f in &report.violations {
+                    println!(
+                        "::error file={},line={},title=pmcheck {}::{} (fn {})",
+                        f.file, f.line, f.rule, f.message, f.function
+                    );
+                }
+                for e in &report.stale_allows {
+                    let level = if deny_stale { "error" } else { "warning" };
+                    println!(
+                        "::{level} file=pmcheck.toml,title=stale allow::{} {} matches nothing \
+                         — the analysis proves this site; delete the entry",
+                        e.rule, e.path
+                    );
+                }
             }
-            println!(
-                "pmcheck: {} files, {} violations, {} allowlisted",
-                report.files,
-                report.violations.len(),
-                report.allowed.len()
-            );
-            if report.violations.is_empty() {
+            if report.violations.is_empty() && !stale_fail {
                 ExitCode::SUCCESS
             } else {
                 ExitCode::FAILURE

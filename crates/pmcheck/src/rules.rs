@@ -1,0 +1,256 @@
+//! Summary-level static rules PMS08–PMS11.
+//!
+//! These run over the [`summary`](crate::summary) events plus the
+//! [`callgraph`](crate::callgraph) reachability facts — they are the rules
+//! that *need* more than one token's context:
+//!
+//! * **PMS08** — an atomic field published with `Release`/`SeqCst`
+//!   somewhere in a file is loaded with `Relaxed` inside a function that
+//!   also writes or publishes pmem: the load needs `Acquire` to pair with
+//!   the publish, or the data behind the guard may be read stale before
+//!   being persisted.
+//! * **PMS09** — a persistent-structure mutation (tombstoning `update`,
+//!   split-counter bump) reaches an unlock with no `StructureEpoch` bump
+//!   in between (directly or through a callee): concurrent readers may
+//!   keep navigating stale shadow/finger hints licensed by the old epoch.
+//!   Scope: `crates/core`.
+//! * **PMS10** — lock-hierarchy lint over the `service` crate: the
+//!   per-function order of distinct `.lock()` acquisitions must form an
+//!   acyclic global graph.
+//! * **PMS11** — a volatile-cache write (search-finger record, allocator
+//!   magazine refill) positioned before a publish CAS in the same
+//!   function: the DRAM cache would claim state the persistent structure
+//!   has not committed yet. Intra-procedural on purpose — propagating the
+//!   marker through callees would poison every `traverse()` caller.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::callgraph::Analysis;
+use crate::summary::EventKind;
+use crate::Finding;
+
+pub fn check(a: &Analysis<'_>) -> Vec<Finding> {
+    let mut out = Vec::new();
+    pms08(a, &mut out);
+    pms09(a, &mut out);
+    pms10(a, &mut out);
+    pms11(a, &mut out);
+    out
+}
+
+/// PMS08: Release-published atomic loaded Relaxed in a persist-affecting
+/// function of the same file.
+fn pms08(a: &Analysis<'_>, out: &mut Vec<Finding>) {
+    // file idx -> fields release-published by some non-test fn.
+    let mut published: BTreeMap<usize, BTreeSet<&str>> = BTreeMap::new();
+    for f in a.fns() {
+        if f.is_test {
+            continue;
+        }
+        for e in &f.events {
+            if let EventKind::AtomicReleaseStore(name) = &e.kind {
+                published.entry(f.file).or_default().insert(name);
+            }
+        }
+    }
+    for (i, f) in a.fns().iter().enumerate() {
+        if f.is_test {
+            continue;
+        }
+        let Some(fields) = published.get(&f.file) else {
+            continue;
+        };
+        let persisty = f
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::Write | EventKind::PublishCas));
+        if !persisty {
+            continue;
+        }
+        let info = &a.infos()[f.file];
+        for e in a.events(i) {
+            if let EventKind::AtomicRelaxedLoad(name) = &e.kind {
+                if fields.contains(name.as_str()) {
+                    out.push(Finding {
+                        rule: "PMS08",
+                        file: info.rel.clone(),
+                        line: info.lines.line(e.at),
+                        function: f.name.clone(),
+                        message: format!(
+                            "atomic `{name}` is published with Release in this file but \
+                             loaded Relaxed in a function that writes/publishes pmem — \
+                             pair the publish with an Acquire load"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// PMS09: structure mutation with no reachable StructureEpoch bump before
+/// the next unlock (crates/core only).
+fn pms09(a: &Analysis<'_>, out: &mut Vec<Finding>) {
+    for f in a.fns() {
+        let info = &a.infos()[f.file];
+        if f.is_test || !info.rel.contains("crates/core/") {
+            continue;
+        }
+        let unlocks: Vec<usize> = f
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::Unlock)
+            .map(|e| e.at)
+            .collect();
+        if unlocks.is_empty() {
+            continue;
+        }
+        let bumps: Vec<usize> = f
+            .events
+            .iter()
+            .filter(|e| match &e.kind {
+                EventKind::EpochBump => true,
+                EventKind::Call(g) => a.bumps_epoch_name(g),
+                _ => false,
+            })
+            .map(|e| e.at)
+            .collect();
+        let mut seen_lines = BTreeSet::new();
+        for m in f
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::StructMutation)
+            .map(|e| e.at)
+        {
+            let Some(&u) = unlocks.iter().find(|&&u| u > m) else {
+                continue; // mutation after the last unlock: lock-free path
+            };
+            if bumps.iter().any(|&b| m < b && b < u) {
+                continue;
+            }
+            let line = info.lines.line(m);
+            if seen_lines.insert(line) {
+                out.push(Finding {
+                    rule: "PMS09",
+                    file: info.rel.clone(),
+                    line,
+                    function: f.name.clone(),
+                    message: format!(
+                        "persistent-structure mutation reaches the unlock on line {} with \
+                         no StructureEpoch bump in between — stale shadow/finger hints \
+                         stay licensed for concurrent readers",
+                        info.lines.line(u)
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// PMS10: lock-acquisition-order consistency in `crates/service`.
+///
+/// Edges come from *direct* same-function acquisition order only. Bare-name
+/// call resolution cannot tell `Option::take`/`Vec::push` apart from service
+/// functions of the same name, so propagating held-lock sets through callees
+/// manufactures edges between unrelated mutexes — the rule stays honest by
+/// flagging only orders it can actually see.
+fn pms10(a: &Analysis<'_>, out: &mut Vec<Finding>) {
+    // Ordered pairs: lock L acquired earlier in the function when M is
+    // acquired. First witness site wins.
+    let mut edges: BTreeMap<(String, String), (usize, usize)> = BTreeMap::new();
+    for (i, f) in a.fns().iter().enumerate() {
+        if f.is_test {
+            continue;
+        }
+        let acquisitions: Vec<(usize, String)> = f
+            .events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::LockAcquire(l) => Some((e.at, l.clone())),
+                _ => None,
+            })
+            .collect();
+        for (p, l) in &acquisitions {
+            for (q, m) in &acquisitions {
+                if q > p && m != l {
+                    edges.entry((l.clone(), m.clone())).or_insert((i, *q));
+                }
+            }
+        }
+    }
+    // Cycle detection: an edge is reported when its reverse direction is
+    // also reachable (L →* M and M → L means inconsistent order).
+    let reachable = |from: &String, to: &String| -> bool {
+        let mut stack = vec![from];
+        let mut seen = BTreeSet::new();
+        while let Some(n) = stack.pop() {
+            if n == to {
+                return true;
+            }
+            if !seen.insert(n.clone()) {
+                continue;
+            }
+            for (l, m) in edges.keys() {
+                if l == n {
+                    stack.push(m);
+                }
+            }
+        }
+        false
+    };
+    for ((l, m), &(i, at)) in &edges {
+        if reachable(m, l) {
+            let f = &a.fns()[i];
+            let info = &a.infos()[f.file];
+            out.push(Finding {
+                rule: "PMS10",
+                file: info.rel.clone(),
+                line: info.lines.line(at),
+                function: f.name.clone(),
+                message: format!(
+                    "lock order `{l}` → `{m}` here conflicts with the reverse order \
+                     elsewhere in crates/service — pick one hierarchy"
+                ),
+            });
+        }
+    }
+}
+
+/// PMS11: volatile-cache write positioned before a publish CAS in the
+/// same function (crates/core and crates/pmalloc).
+fn pms11(a: &Analysis<'_>, out: &mut Vec<Finding>) {
+    for f in a.fns() {
+        let info = &a.infos()[f.file];
+        if f.is_test || !(info.rel.contains("crates/core/") || info.rel.contains("crates/pmalloc/"))
+        {
+            continue;
+        }
+        let cas: Vec<usize> = f
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::PublishCas)
+            .map(|e| e.at)
+            .collect();
+        if cas.is_empty() {
+            continue;
+        }
+        for e in &f.events {
+            if e.kind == EventKind::CacheWrite {
+                if let Some(&q) = cas.iter().find(|&&q| q > e.at) {
+                    out.push(Finding {
+                        rule: "PMS11",
+                        file: info.rel.clone(),
+                        line: info.lines.line(e.at),
+                        function: f.name.clone(),
+                        message: format!(
+                            "volatile cache written before the persistent commit point \
+                             (publish CAS on line {}) — a failed/raced publish leaves the \
+                             DRAM cache claiming state pmem never committed",
+                            info.lines.line(q)
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}

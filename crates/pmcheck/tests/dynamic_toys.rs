@@ -1,154 +1,60 @@
-//! Dynamic-detector true positives: tiny seeded bugs driven straight
-//! against `pmem`'s `PmCheckLevel::Track` machinery, asserting the exact
-//! rule id and cache line of every report — plus a miniature
-//! crash-correlation run showing a PMD01 predicting a real durability
-//! failure under injected residue.
+//! Seeded true positives for the dynamic rules PMD04/PMD05: drive pmem's
+//! `PmCheckLevel::Track` detector through its public API and assert the
+//! exact rule id and cache line, mirroring the static-toy pattern.
 
-use pmem::{CrashPlan, PmCheckLevel, Pool, Rule, CACHE_LINE_WORDS};
+use std::sync::Arc;
 
-fn tracked() -> std::sync::Arc<Pool> {
+use pmem::{PmCheckLevel, Pool};
+
+fn tracked() -> Arc<Pool> {
     let p = Pool::tracked(256);
     p.set_check_level(PmCheckLevel::Track);
     p
 }
 
 #[test]
-fn skipped_flush_before_publish_is_pmd01_on_the_written_line() {
+fn pmd04_unsynchronized_same_line_writers_are_reported() {
     let p = tracked();
-    p.write(64, 7); // line 8, never flushed
-    let _ = p.cas(8, 0, 64); // publish on line 1
-    pmem::sfence();
+    // Offsets 8 and 9 share cache line 1; the threads never fence, CAS,
+    // or share a lock word, so there is no happens-before edge.
+    let p1 = Arc::clone(&p);
+    std::thread::spawn(move || {
+        pmem::thread::register(pmem::MAX_THREADS - 5, 0);
+        p1.write(8, 1);
+    })
+    .join()
+    .unwrap();
+    let p2 = Arc::clone(&p);
+    std::thread::spawn(move || {
+        pmem::thread::register(pmem::MAX_THREADS - 6, 0);
+        p2.write(9, 2);
+        p2.persist(8, 2);
+    })
+    .join()
+    .unwrap();
     let findings = p.take_check_findings();
-    let v: Vec<_> = findings.iter().filter(|f| f.rule.is_violation()).collect();
-    assert_eq!(v.len(), 1, "exactly one violation: {findings:?}");
-    assert_eq!(v[0].rule, Rule::UnflushedPublish);
-    assert_eq!(v[0].rule.id(), "PMD01");
-    assert_eq!(v[0].line, 64 / CACHE_LINE_WORDS, "blames the written line");
-    pmem::check::reset_thread();
+    let race: Vec<_> = findings.iter().filter(|f| f.rule.id() == "PMD04").collect();
+    assert_eq!(race.len(), 1, "{findings:?}");
+    assert_eq!(race[0].line, 1);
+    assert!(!race[0].rule.is_violation(), "PMD04 is advisory");
 }
 
 #[test]
-fn flush_without_fence_before_publish_is_also_pmd01() {
+fn pmd05_publish_observed_before_durability_is_reported() {
     let p = tracked();
-    p.write(128, 7);
-    p.flush(128); // CLWB issued but no SFENCE yet
-    let _ = p.cas(8, 0, 128);
+    p.write(0, 7);
+    p.persist(0, 1);
+    assert_eq!(p.cas(16, 0, 1), Ok(0)); // publish on line 2, not yet durable
+    let p2 = Arc::clone(&p);
+    std::thread::spawn(move || {
+        assert_eq!(p2.read(16), 1); // racing observation
+    })
+    .join()
+    .unwrap();
+    p.persist(16, 1); // durability arrives after the observation
     let findings = p.take_check_findings();
-    let v: Vec<_> = findings.iter().filter(|f| f.rule.is_violation()).collect();
-    assert_eq!(v.len(), 1, "{findings:?}");
-    assert_eq!(v[0].rule.id(), "PMD01");
-    assert!(
-        v[0].detail.contains("flushed but not fenced"),
-        "detail should distinguish missing-fence from missing-flush: {}",
-        v[0].detail
-    );
-    pmem::sfence();
-    pmem::check::reset_thread();
-}
-
-#[test]
-fn redundant_fence_is_tallied_as_pmd02() {
-    let p = tracked();
-    pmem::check::reset_thread();
-    p.write(8, 1);
-    p.persist(8, 1); // flush + fence: does real work
-    let before = pmem::check::take_redundant_fences();
-    pmem::sfence(); // nothing pending — pure MOD overhead
-    pmem::sfence();
-    let tallied = pmem::check::take_redundant_fences();
-    assert_eq!(before, 0);
-    assert_eq!(tallied, 2, "both empty fences are PMD02 advisories");
-}
-
-#[test]
-fn reading_never_durable_residue_is_pmd03() {
-    let p = tracked();
-    p.write(192, 99); // line 24: written, never flushed or fenced
-    p.simulate_crash_with(CrashPlan::KeepAll); // residue survives by luck
-    pmem::discard_pending();
-    assert_eq!(p.read(192), 99, "KeepAll residue is visible");
-    let findings = p.take_check_findings();
-    let hit = findings
-        .iter()
-        .find(|f| f.rule == Rule::UndurableRead)
-        .expect("recovery-time read of never-durable residue must be flagged");
-    assert_eq!(hit.rule.id(), "PMD03");
-    assert_eq!(hit.line, 192 / CACHE_LINE_WORDS);
-    assert!(!hit.rule.is_violation(), "PMD03 is advisory");
-    pmem::check::reset_thread();
-}
-
-/// Negative control for the index-shadow contract ("lookups make zero
-/// pmem writes"): a toy lookup cache that persists its hint table into
-/// pmem on the *read* path — the exact mistake the DRAM shadow must never
-/// make — is caught twice over. The detector flags the unflushed publish
-/// of the hint slot, and the pool's write counter (the same counter
-/// `core`'s `warm_shadow_read_path_makes_zero_pmem_writes` asserts stays
-/// flat) records the spurious write traffic.
-#[test]
-fn a_lookup_cache_that_writes_pmem_is_flagged() {
-    let p = tracked();
-    // "Data" record, properly persisted: word 128 holds the value.
-    p.write(128, 7_777);
-    p.persist(128, 1);
-    pmem::check::reset_thread();
-    let writes_before = p.stats().snapshot().writes;
-
-    // Buggy lookup: caches the hit location into a pmem-resident hint
-    // table (word 192) and publishes the hint's sequence word — all
-    // without a flush. A correct shadow keeps this table in DRAM.
-    let value = p.read(128);
-    p.write(192, 128); // hint table: "key lives at word 128"
-    let _ = p.cas(8, 0, 1); // publish hint seqno, hint line unflushed
-    pmem::sfence();
-    assert_eq!(value, 7_777);
-
-    assert!(
-        p.stats().snapshot().writes > writes_before,
-        "the buggy read path visibly writes pmem"
-    );
-    let findings = p.take_check_findings();
-    let v: Vec<_> = findings.iter().filter(|f| f.rule.is_violation()).collect();
-    assert_eq!(v.len(), 1, "{findings:?}");
-    assert_eq!(v[0].rule, Rule::UnflushedPublish);
-    assert_eq!(
-        v[0].line,
-        192 / CACHE_LINE_WORDS,
-        "blames the pmem-resident hint table"
-    );
-    pmem::check::reset_thread();
-}
-
-/// Miniature version of the E12 cross-check: a structure that publishes a
-/// pointer to an unflushed record gets a PMD01 from the detector *and*
-/// loses the record under DropAll residue — the static/dynamic finding
-/// predicts the actual durability failure.
-#[test]
-fn pmd01_predicts_real_data_loss_under_crash_residue() {
-    let p = tracked();
-    // Bug: record at line 8 is published (root pointer at word 8, line 1)
-    // before the record is persisted. The root itself IS persisted, making
-    // the dangling-pointer window durable.
-    p.write(64, 42);
-    let _ = p.cas(8, 0, 64);
-    p.persist(8, 1);
-
-    let findings = p.take_check_findings();
-    assert!(
-        findings
-            .iter()
-            .any(|f| f.rule.is_violation() && f.line == 64 / CACHE_LINE_WORDS),
-        "detector must flag the publish: {findings:?}"
-    );
-
-    // Adversarial residue: every non-durable line is dropped.
-    p.simulate_crash_with(CrashPlan::DropAll);
-    pmem::discard_pending();
-    assert_eq!(p.read(8), 64, "the fenced root pointer survived");
-    assert_eq!(
-        p.read(64),
-        0,
-        "the unflushed record did not — exactly the loss PMD01 predicted"
-    );
-    pmem::check::reset_thread();
+    let racy: Vec<_> = findings.iter().filter(|f| f.rule.id() == "PMD05").collect();
+    assert_eq!(racy.len(), 1, "{findings:?}");
+    assert_eq!(racy[0].line, 2);
+    assert!(!racy[0].rule.is_violation(), "PMD05 is advisory");
 }

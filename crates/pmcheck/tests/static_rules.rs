@@ -187,3 +187,172 @@ fn workspace_allowlist_parses_and_sanctions_the_known_tags() {
     }
     assert!(allow.exempt_tag("rogue").is_none());
 }
+
+// ---- summary-level rules (PMS08–11) ---------------------------------------
+//
+// These need the whole-file (or whole-set) summary pass, so they go through
+// `lint_sources` rather than `lint_file`.
+
+/// `(rule, file, line)` triples for the findings over a file set.
+fn source_hits(files: &[(&str, &str)]) -> Vec<(String, String, usize)> {
+    let files: Vec<(String, String)> = files
+        .iter()
+        .map(|(p, s)| (p.to_string(), s.to_string()))
+        .collect();
+    pmcheck::lint_sources(&files, &sanctioned())
+        .findings
+        .into_iter()
+        .map(|f| (f.rule.to_string(), f.file.clone(), f.line))
+        .collect()
+}
+
+#[test]
+fn pms08_relaxed_load_of_release_published_atomic_is_caught() {
+    let src = "use std::sync::atomic::{AtomicU64, Ordering};\n\
+               fn publish(p: &pmem::Pool, ready: &AtomicU64) {\n\
+               \x20   p.write(8, 1);\n\
+               \x20   p.persist(8, 1);\n\
+               \x20   ready.store(1, Ordering::Release);\n\
+               }\n\
+               fn consume(p: &pmem::Pool, ready: &AtomicU64) {\n\
+               \x20   if ready.load(Ordering::Relaxed) == 1 {\n\
+               \x20       p.write(16, 2);\n\
+               \x20       p.persist(16, 1);\n\
+               \x20   }\n\
+               }\n";
+    let h = source_hits(&[("crates/demo/src/a.rs", src)]);
+    assert_eq!(
+        h,
+        vec![("PMS08".into(), "crates/demo/src/a.rs".into(), 8)],
+        "exactly the Relaxed load in the persisting function"
+    );
+    // Acquire pairs correctly: clean.
+    let fixed = src.replace("Ordering::Relaxed", "Ordering::Acquire");
+    assert!(source_hits(&[("crates/demo/src/a.rs", &fixed)]).is_empty());
+}
+
+#[test]
+fn pms09_mutation_reaching_unlock_without_epoch_bump_is_caught() {
+    let src = "impl L {\n\
+               \x20   fn remove(&self, node: u64, idx: usize) -> u64 {\n\
+               \x20       let old = self.update(node, idx, TOMBSTONE);\n\
+               \x20       rwlock::read_unlock(self.space(), node);\n\
+               \x20       if old != TOMBSTONE {\n\
+               \x20           self.invalidate_structure();\n\
+               \x20       }\n\
+               \x20       old\n\
+               \x20   }\n\
+               }\n";
+    let h = source_hits(&[("crates/core/src/demo.rs", src)]);
+    assert_eq!(
+        h,
+        vec![("PMS09".into(), "crates/core/src/demo.rs".into(), 3)],
+        "the tombstone update reaches the unlock with no bump"
+    );
+    // Bump moved before the unlock: clean.
+    let fixed = "impl L {\n\
+                 \x20   fn remove(&self, node: u64, idx: usize) -> u64 {\n\
+                 \x20       let old = self.update(node, idx, TOMBSTONE);\n\
+                 \x20       if old != TOMBSTONE {\n\
+                 \x20           self.invalidate_structure();\n\
+                 \x20       }\n\
+                 \x20       rwlock::read_unlock(self.space(), node);\n\
+                 \x20       old\n\
+                 \x20   }\n\
+                 }\n";
+    assert!(source_hits(&[("crates/core/src/demo.rs", fixed)]).is_empty());
+    // Outside crates/core the markers are meaningless: clean.
+    assert!(source_hits(&[("crates/demo/src/demo.rs", src)]).is_empty());
+}
+
+#[test]
+fn pms10_conflicting_lock_order_is_caught_in_both_witnesses() {
+    let src = "impl Svc {\n\
+               \x20   fn forward(&self) {\n\
+               \x20       let a = self.admission.lock().unwrap();\n\
+               \x20       let s = self.shards.lock().unwrap();\n\
+               \x20   }\n\
+               \x20   fn drain(&self) {\n\
+               \x20       let s = self.shards.lock().unwrap();\n\
+               \x20       let a = self.admission.lock().unwrap();\n\
+               \x20   }\n\
+               }\n";
+    let h = source_hits(&[("crates/service/src/demo.rs", src)]);
+    assert_eq!(
+        h,
+        vec![
+            ("PMS10".into(), "crates/service/src/demo.rs".into(), 4),
+            ("PMS10".into(), "crates/service/src/demo.rs".into(), 8),
+        ],
+        "both sides of the admission/shards cycle"
+    );
+    // Consistent hierarchy: clean.
+    let fixed = src.replace(
+        "let s = self.shards.lock().unwrap();\n\x20       let a = self.admission.lock().unwrap();",
+        "let a = self.admission.lock().unwrap();\n\x20       let s = self.shards.lock().unwrap();",
+    );
+    assert!(source_hits(&[("crates/service/src/demo.rs", &fixed)]).is_empty());
+}
+
+#[test]
+fn pms11_volatile_cache_write_before_publish_cas_is_caught() {
+    let src = "impl L {\n\
+               \x20   fn link(&self, p: &pmem::Pool, node: u64, key: u64) {\n\
+               \x20       self.finger_record(node, key);\n\
+               \x20       let _ = p.cas(8, 0, 64);\n\
+               \x20       p.persist(8, 1);\n\
+               \x20   }\n\
+               }\n";
+    let h = source_hits(&[("crates/core/src/demo.rs", src)]);
+    assert_eq!(
+        h,
+        vec![("PMS11".into(), "crates/core/src/demo.rs".into(), 3)],
+        "finger recorded before the persistent commit point"
+    );
+    // Cache updated after the publish: clean.
+    let fixed = "impl L {\n\
+                 \x20   fn link(&self, p: &pmem::Pool, node: u64, key: u64) {\n\
+                 \x20       let _ = p.cas(8, 0, 64);\n\
+                 \x20       p.persist(8, 1);\n\
+                 \x20       self.finger_record(node, key);\n\
+                 \x20   }\n\
+                 }\n";
+    assert!(source_hits(&[("crates/core/src/demo.rs", fixed)]).is_empty());
+}
+
+// ---- stripper regressions --------------------------------------------------
+
+#[test]
+fn raw_string_write_tokens_do_not_poison_the_scan() {
+    let src = "fn doc() -> &'static str {\n\
+               \x20   r#\"p.write(8, 1); never flushed \"inner\" text\"#\n\
+               }\n";
+    assert!(hits("crates/demo/src/a.rs", src).is_empty());
+}
+
+#[test]
+fn nested_block_comments_are_fully_stripped() {
+    let src = "/* outer /* p.write(8, 1) */ still a comment p.write(16, 2) */\n\
+               fn ok() {}\n";
+    assert!(hits("crates/demo/src/a.rs", src).is_empty());
+}
+
+#[test]
+fn escaped_quote_char_literal_does_not_hide_later_code() {
+    // With the old stripper `'\''` closed on its own escaped quote, leaving
+    // the trailing `'` to swallow the rest of the function as a bogus
+    // literal — hiding the unflushed write below.
+    let src = "fn f(p: &pmem::Pool) {\n\
+               \x20   let _q = '\\'';\n\
+               \x20   p.write(8, 1);\n\
+               }\n";
+    assert_eq!(hits("crates/demo/src/a.rs", src), vec![("PMS01".into(), 3)]);
+}
+
+#[test]
+fn trailing_escaped_quote_string_does_not_panic() {
+    // A malformed tail (string opened, escape at EOF) must not panic the
+    // byte-walker.
+    let src = "fn f() { let _s = \"\\";
+    let _ = hits("crates/demo/src/a.rs", src);
+}

@@ -22,6 +22,21 @@
 //!   evicted). Recovery code is expected to read-and-validate such
 //!   residue; the report stream lets the E12 harness cross-check verify
 //!   failures against the exact lines recovery trusted.
+//! * **PMD04 `durability-race`** (advisory): two threads wrote the same
+//!   cache line with no happens-before edge between them through a fence,
+//!   CAS, or lock word. Tracked with per-thread vector clocks: every
+//!   thread's clock component advances at its release points (SFENCE,
+//!   successful CAS, store to a CAS-established sync word) and joins at
+//!   its acquire points (fence, CAS, single-word read of a sync word), so
+//!   lock-protected and publish-ordered writes never report. Advisory
+//!   because the harness cannot see `std::thread` spawn/join edges — a
+//!   report means "no *pmem-level* synchronization", which the fence-diet
+//!   work needs to see but which a test may legitimately order externally.
+//! * **PMD05 `racy-publish-observation`** (advisory): a publish CAS became
+//!   durable (its line's SFENCE commit) only *after* another thread had
+//!   already read the published line — the linked-but-not-durable window
+//!   of *Practical Detectability*: a crash between the observation and the
+//!   fence loses a value a concurrent reader may have acted on.
 //!
 //! Sanctioned exceptions — words whose durability is deliberately deferred
 //! or covered by another mechanism (node lock words, pmwcas dirty bits,
@@ -93,6 +108,12 @@ pub enum Rule {
     /// PMD03: read of a line that survived a crash without ever being
     /// durable by protocol.
     UndurableRead,
+    /// PMD04: two threads wrote one cache line with no happens-before
+    /// edge through a fence, CAS, or lock word.
+    DurabilityRace,
+    /// PMD05: a publish CAS became durable only after a racing read had
+    /// already observed the published line.
+    RacyPublishObservation,
 }
 
 impl Rule {
@@ -102,6 +123,8 @@ impl Rule {
             Rule::UnflushedPublish => "PMD01",
             Rule::RedundantFence => "PMD02",
             Rule::UndurableRead => "PMD03",
+            Rule::DurabilityRace => "PMD04",
+            Rule::RacyPublishObservation => "PMD05",
         }
     }
 
@@ -186,6 +209,10 @@ fn with_owner(word: u64, tid: u16) -> u64 {
 /// line of a check-enabled pool.
 static FENCE_EPOCH: AtomicU64 = AtomicU64::new(0);
 
+/// Vector clock accumulated by every committing SFENCE: fences are global
+/// release+acquire points for the PMD04 happens-before relation.
+static FENCE_VC: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+
 /// Registry of check-enabled pools, keyed by `&Pool` address, so the
 /// publish check can consult the line table of pools other than the one
 /// being CASed. Entries are purged lazily when their `Weak` dies.
@@ -207,6 +234,112 @@ thread_local! {
     static ARMED: Cell<bool> = const { Cell::new(false) };
     /// Redundant fences observed by this thread (PMD02 tally).
     static REDUNDANT_FENCES: Cell<u64> = const { Cell::new(0) };
+    /// This thread's PMD04 vector clock, indexed by thread id. Seeded from
+    /// [`FENCE_VC`] on first use: a thread starts ordered after everything
+    /// fenced before it first touched pmem.
+    static MY_VC: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    static MY_VC_SEEDED: Cell<bool> = const { Cell::new(false) };
+}
+
+// ---- PMD04 vector clocks ---------------------------------------------------
+
+fn vc_join(dst: &mut Vec<u64>, src: &[u64]) {
+    if dst.len() < src.len() {
+        dst.resize(src.len(), 0);
+    }
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d = (*d).max(*s);
+    }
+}
+
+/// Run `f` on this thread's vector clock (seeding it on first use).
+fn with_my_vc<R>(f: impl FnOnce(&mut Vec<u64>) -> R) -> R {
+    MY_VC.with(|vc| {
+        let mut vc = vc.borrow_mut();
+        if !MY_VC_SEEDED.with(|s| s.replace(true)) {
+            vc_join(&mut vc, &FENCE_VC.lock().unwrap());
+            // Our own component starts strictly above every other thread's
+            // view of us, so a fresh thread's unreleased writes are not
+            // mistaken for happens-before-covered ones.
+            let me = thread::current().id;
+            if vc.len() <= me {
+                vc.resize(me + 1, 0);
+            }
+            vc[me] += 1;
+        }
+        f(&mut vc)
+    })
+}
+
+/// The calling thread's clock component for thread `tid` (for `tid` =
+/// self, that is our release counter).
+fn my_vc_at(tid: u16) -> u64 {
+    with_my_vc(|vc| vc.get(tid as usize).copied().unwrap_or(0))
+}
+
+/// Release: deposit this thread's clock into `target` (for a later
+/// acquirer to join), then advance our own component so writes after the
+/// release are distinguishable from writes before it.
+fn vc_release_into(tid: u16, target: &mut Vec<u64>) {
+    with_my_vc(|vc| {
+        if vc.len() <= tid as usize {
+            vc.resize(tid as usize + 1, 0);
+        }
+        vc_join(target, vc);
+        vc[tid as usize] += 1;
+    });
+}
+
+/// Acquire: join `src` into this thread's clock.
+fn vc_acquire_from(src: &[u64]) {
+    with_my_vc(|vc| vc_join(vc, src));
+}
+
+/// Acquire+release on a pool sync word (successful CAS): join the word's
+/// clock, deposit ours, advance. Creates the word's sync entry — from then
+/// on plain stores to it release and single-word reads of it acquire,
+/// which is exactly the lock-word unlock/lock-polling pattern.
+fn sync_word_acq_rel(pool: &Pool, off: u64) {
+    let tid = thread::current().id as u16;
+    let mut sync = pool.check_state().sync.lock().unwrap();
+    let entry = sync.entry(off).or_default();
+    vc_acquire_from(entry);
+    vc_release_into(tid, entry);
+}
+
+/// Release half only (plain store to an established sync word — the
+/// unlock store).
+fn sync_word_release(pool: &Pool, off: u64) {
+    let tid = thread::current().id as u16;
+    let mut sync = pool.check_state().sync.lock().unwrap();
+    if let Some(entry) = sync.get_mut(&off) {
+        vc_release_into(tid, entry);
+    }
+}
+
+/// Acquire half only (single-word read of an established sync word — a
+/// lock poll or a published-pointer load).
+fn sync_word_acquire(pool: &Pool, off: u64) {
+    let sync = pool.check_state().sync.lock().unwrap();
+    if let Some(entry) = sync.get(&off) {
+        vc_acquire_from(entry);
+    }
+}
+
+/// Last-writer record for one cache line (PMD04/PMD05).
+#[derive(Default)]
+pub(crate) struct LineRace {
+    writer: u16,
+    /// The writer's own clock component at write time; a later access by
+    /// thread `u` is ordered after it iff `vc_u[writer] >= clock`.
+    clock: u64,
+    /// A non-exempt publish CAS dirtied this line and its durability has
+    /// not been observed yet (PMD05 arming).
+    published: bool,
+    /// Thread that read the line while `published` and not yet durable.
+    observer: Option<u16>,
+    /// PMD04 reported for this line already (report once, like PMD03).
+    reported: bool,
 }
 
 /// RAII guard marking the scope's pmem writes/CASes as volatile-intent:
@@ -334,7 +467,43 @@ pub(crate) fn on_write(pool: &Pool, off: u64) {
         DIRTY.with(|d| {
             d.borrow_mut().insert(key);
         });
+        race_check_write(pool, line, tid);
     }
+    // A plain store to a CAS-established sync word is the unlock pattern:
+    // release our clock for the next acquirer. Runs for exempt writes too —
+    // lock words live inside exempt scopes but ARE the synchronization.
+    sync_word_release(pool, off);
+}
+
+/// PMD04: report (once per line) a write racing the line's previous
+/// writer, then take over as last writer.
+fn race_check_write(pool: &Pool, line: u64, tid: u16) {
+    let mut race = pool.check_state().race.lock().unwrap();
+    let e = race.entry(line).or_default();
+    let racing = e.clock > 0 && e.writer != tid && my_vc_at(e.writer) < e.clock && !e.reported;
+    if racing {
+        pool.record_finding(Finding {
+            rule: Rule::DurabilityRace,
+            pool: pool.id(),
+            line,
+            writer: e.writer,
+            detector: tid,
+            fence_epoch: fence_epoch(),
+            detail: format!(
+                "pool {} line {} written by t{} and t{} with no happens-before \
+                 edge through a fence, CAS, or lock word",
+                pool.id(),
+                line,
+                e.writer,
+                tid
+            ),
+        });
+        e.reported = true;
+    }
+    e.writer = tid;
+    e.clock = my_vc_at(tid);
+    e.published = false;
+    e.observer = None;
 }
 
 /// A successful CAS on `off`. Non-exempt CASes are publish points: every
@@ -343,10 +512,24 @@ pub(crate) fn on_write(pool: &Pool, off: u64) {
 pub(crate) fn on_cas_success(pool: &Pool, off: u64) {
     arm_thread();
     let line = crate::line_of(off);
-    if EXEMPT.with(|e| e.borrow().is_empty()) {
+    // The CAS word is synchronization vocabulary for PMD04 regardless of
+    // exemption — lock-word CASes live in exempt scopes but ARE the
+    // happens-before edges.
+    sync_word_acq_rel(pool, off);
+    let exempt = EXEMPT.with(|e| !e.borrow().is_empty());
+    if !exempt {
         publish_check(pool, line);
     }
     on_write(pool, off);
+    if !exempt {
+        // Arm PMD05: the line is published but not yet durable; a
+        // cross-thread read before its fence commit is a racy observation.
+        let mut race = pool.check_state().race.lock().unwrap();
+        if let Some(e) = race.get_mut(&line) {
+            e.published = true;
+            e.observer = None;
+        }
+    }
 }
 
 /// The PMD01 publish check: walk the thread's dirty-line candidates and
@@ -455,12 +638,49 @@ pub(crate) fn on_fence_commit(pool: &Pool, line: u64, epoch: u64) {
         DIRTY.with(|d| {
             d.borrow_mut().remove(&key);
         });
+        // PMD05: this commit is what made the publish durable — if a
+        // racing read already observed the published line, the durable
+        // order is publish-observed-then-committed.
+        let mut race = pool.check_state().race.lock().unwrap();
+        if let Some(e) = race.get_mut(&line) {
+            if e.published {
+                if let Some(observer) = e.observer {
+                    pool.record_finding(Finding {
+                        rule: Rule::RacyPublishObservation,
+                        pool: pool.id(),
+                        line,
+                        writer: e.writer,
+                        detector: observer,
+                        fence_epoch: epoch,
+                        detail: format!(
+                            "publish CAS on pool {} line {} became durable at epoch {} \
+                             only after t{} had already read the published line",
+                            pool.id(),
+                            line,
+                            epoch,
+                            observer
+                        ),
+                    });
+                }
+                e.published = false;
+                e.observer = None;
+            }
+        }
     }
 }
 
 /// Called once per [`sfence`](crate::sfence) drain that commits at least
 /// one check-enabled line; returns the fence epoch for the commits.
+/// Also the PMD04 global release+acquire point: the fencing thread joins
+/// the fence clock and deposits its own.
 pub(crate) fn next_fence_epoch() -> u64 {
+    {
+        let tid = thread::current().id as u16;
+        with_my_vc(|_| ()); // seed now — seeding locks FENCE_VC itself
+        let mut fence_vc = FENCE_VC.lock().unwrap();
+        vc_acquire_from(&fence_vc);
+        vc_release_into(tid, &mut fence_vc);
+    }
     FENCE_EPOCH.fetch_add(1, Ordering::Relaxed) + 1
 }
 
@@ -471,11 +691,32 @@ pub(crate) fn on_empty_fence() {
     }
 }
 
-/// A read touched `[off, off + words)`: report tainted lines (once each).
+/// A read touched `[off, off + words)`: report tainted lines (once each),
+/// acquire sync-word clocks, and record PMD05 racy observations.
 #[cold]
 pub(crate) fn on_read(pool: &Pool, off: u64, words: u64) {
+    // A single-word read of a CAS-established sync word is the acquire
+    // half of the lock-poll / published-pointer-load pattern.
+    if words <= 1 {
+        sync_word_acquire(pool, off);
+    }
+    let tid = thread::current().id as u16;
     let first = crate::line_of(off);
     let last = crate::line_of(off + words.max(1) - 1);
+    {
+        let mut race = pool.check_state().race.lock().unwrap();
+        for line in first..=last {
+            if let Some(e) = race.get_mut(&line) {
+                if e.published
+                    && e.writer != tid
+                    && e.observer.is_none()
+                    && st(line_word(pool, line)) != ST_DURABLE
+                {
+                    e.observer = Some(tid);
+                }
+            }
+        }
+    }
     for line in first..=last {
         let prev = update_line(pool, line, |w| w & !F_TAINT);
         if prev & F_TAINT != 0 {
@@ -504,6 +745,32 @@ pub(crate) fn on_read(pool: &Pool, off: u64, words: u64) {
 /// kept residue, or spontaneous eviction (image already clean while the
 /// state machine says non-durable) — are tainted for PMD03.
 pub(crate) fn on_crash_line(pool: &Pool, line: u64, image_dirty: bool, kept: bool) {
+    // PMD05 at the crash edge: a publish that was observed but never
+    // became durable is the lost-linked-value window itself.
+    {
+        let mut race = pool.check_state().race.lock().unwrap();
+        if let Some(e) = race.remove(&line) {
+            if e.published {
+                if let Some(observer) = e.observer {
+                    pool.record_finding(Finding {
+                        rule: Rule::RacyPublishObservation,
+                        pool: pool.id(),
+                        line,
+                        writer: e.writer,
+                        detector: observer,
+                        fence_epoch: fence_epoch(),
+                        detail: format!(
+                            "crash hit pool {} line {} while its publish CAS, already \
+                             read by t{}, had not become durable",
+                            pool.id(),
+                            line,
+                            observer
+                        ),
+                    });
+                }
+            }
+        }
+    }
     update_line(pool, line, |w| {
         let survived_undurable = st(w) != ST_DURABLE
             && st(w) != ST_CLEAN
@@ -527,6 +794,11 @@ pub(crate) fn new_table(lines: u64) -> Box<[AtomicU64]> {
 pub(crate) struct CheckState {
     pub(crate) table: OnceLock<Box<[AtomicU64]>>,
     pub(crate) findings: Mutex<Vec<Finding>>,
+    /// PMD04 sync-word vector clocks, keyed by word offset. A word enters
+    /// the map at its first successful CAS.
+    pub(crate) sync: Mutex<HashMap<u64, Vec<u64>>>,
+    /// PMD04/PMD05 last-writer records, keyed by cache-line index.
+    pub(crate) race: Mutex<HashMap<u64, LineRace>>,
 }
 
 #[cfg(test)]
@@ -663,6 +935,106 @@ mod tests {
         assert_eq!(findings.len(), 1, "{findings:?}");
         assert_eq!(findings[0].rule.id(), "PMD01");
         p.persist(8, 1);
+    }
+
+    #[test]
+    fn unsynchronized_cross_thread_writes_are_pmd04() {
+        let p = checked_pool();
+        // Two fresh threads with reserved ids write the same cache line
+        // (offsets 8 and 9 share line 1) with no fence/CAS between them.
+        let p1 = Arc::clone(&p);
+        std::thread::spawn(move || {
+            crate::thread::register(crate::MAX_THREADS - 1, 0);
+            p1.write(8, 1);
+        })
+        .join()
+        .unwrap();
+        let p2 = Arc::clone(&p);
+        std::thread::spawn(move || {
+            crate::thread::register(crate::MAX_THREADS - 2, 0);
+            p2.write(9, 2);
+            p2.persist(8, 2); // leave the line settled for other tests
+        })
+        .join()
+        .unwrap();
+        let findings = p.take_check_findings();
+        let race: Vec<_> = findings.iter().filter(|f| f.rule.id() == "PMD04").collect();
+        assert_eq!(race.len(), 1, "{findings:?}");
+        assert_eq!(race[0].line, 1);
+        assert_eq!(race[0].writer, (crate::MAX_THREADS - 1) as u16);
+        assert!(!race[0].rule.is_violation(), "PMD04 is advisory");
+    }
+
+    #[test]
+    fn lock_word_cas_orders_cross_thread_writes() {
+        let p = checked_pool();
+        // Same two-thread shape, but thread B acquires the "lock word"
+        // (offset 32) that thread A released: CAS + release-store give a
+        // happens-before edge, so no PMD04.
+        let p1 = Arc::clone(&p);
+        std::thread::spawn(move || {
+            crate::thread::register(crate::MAX_THREADS - 3, 0);
+            assert_eq!(p1.cas(32, 0, 1), Ok(0)); // acquire
+            p1.write(8, 1);
+            p1.write(32, 0); // release store on the sync word
+            p1.persist(8, 1);
+            p1.persist(32, 1);
+        })
+        .join()
+        .unwrap();
+        let p2 = Arc::clone(&p);
+        std::thread::spawn(move || {
+            crate::thread::register(crate::MAX_THREADS - 4, 0);
+            assert_eq!(p2.cas(32, 0, 1), Ok(0)); // acquire joins A's release
+            p2.write(9, 2);
+            p2.write(32, 0);
+            p2.persist(8, 2);
+            p2.persist(32, 1);
+        })
+        .join()
+        .unwrap();
+        let findings = p.take_check_findings();
+        assert!(
+            findings.iter().all(|f| f.rule.id() != "PMD04"),
+            "lock-word ordered writes must not race: {findings:?}"
+        );
+    }
+
+    #[test]
+    fn racy_publish_observation_is_pmd05() {
+        let p = checked_pool();
+        p.write(0, 7); // prepared data, properly persisted
+        p.persist(0, 1);
+        assert_eq!(p.cas(16, 0, 1), Ok(0)); // publish on line 2, not yet durable
+        let p2 = Arc::clone(&p);
+        std::thread::spawn(move || {
+            assert_eq!(p2.read(16), 1); // observes the undurable publish
+        })
+        .join()
+        .unwrap();
+        p.persist(16, 1); // the fence commits the publish AFTER the read
+        let findings = p.take_check_findings();
+        let racy: Vec<_> = findings.iter().filter(|f| f.rule.id() == "PMD05").collect();
+        assert_eq!(racy.len(), 1, "{findings:?}");
+        assert_eq!(racy[0].line, 2);
+        assert!(!racy[0].rule.is_violation(), "PMD05 is advisory");
+    }
+
+    #[test]
+    fn publish_fenced_before_read_has_no_pmd05() {
+        let p = checked_pool();
+        assert_eq!(p.cas(16, 0, 1), Ok(0));
+        p.persist(16, 1); // durable before anyone reads
+        let p2 = Arc::clone(&p);
+        std::thread::spawn(move || {
+            assert_eq!(p2.read(16), 1);
+        })
+        .join()
+        .unwrap();
+        assert!(p
+            .take_check_findings()
+            .iter()
+            .all(|f| f.rule.id() != "PMD05"));
     }
 
     #[test]

@@ -267,6 +267,11 @@ impl Pool {
         std::mem::take(&mut *self.check_state.findings.lock().unwrap())
     }
 
+    /// The detector's per-pool race/sync state (PMD04/PMD05).
+    pub(crate) fn check_state(&self) -> &check::CheckState {
+        &self.check_state
+    }
+
     /// The per-line detector state table, allocated on first use.
     pub(crate) fn check_table(&self) -> &[AtomicU64] {
         self.check_state.table.get_or_init(|| {
