@@ -12,12 +12,15 @@
 //!             --residue-seeds 4 --ops 64   # deeper local run
 //! crash_sweep --structures upskiplist,pmwcas --no-nested
 //! crash_sweep --smoke --pmcheck          # + dynamic persist-ordering detector
+//! crash_sweep --smoke --crash-in-epoch   # + epoch-boundary points (PreSweep /
+//!                                        #   PostSweep: die mid-prepare and
+//!                                        #   between sweep and publish CAS)
 //! ```
 
 use bench::args::Args;
 use bench::sweep::{
-    standard_plans, sweep, AllocSubject, PmwcasSubject, SkipListSubject, SweepConfig, SweepOutcome,
-    TxSubject,
+    standard_plans, sweep, sweep_epoch_points, AllocSubject, PmwcasSubject, SkipListSubject,
+    SweepConfig, SweepOutcome, TxSubject,
 };
 
 fn main() {
@@ -31,6 +34,7 @@ fn main() {
     let ops = args.u64("ops", if smoke { 32 } else { 48 });
     let nested = !args.flag("no-nested");
     let pmcheck = args.flag("pmcheck");
+    let crash_in_epoch = args.flag("crash-in-epoch");
     let structures = args.list("structures", "upskiplist,pmalloc,pmalloc-mag,pmwcas,pmemtx");
 
     let cfg = SweepConfig {
@@ -86,6 +90,25 @@ fn main() {
                 out.states,
                 out.failures.len()
             );
+        }
+        outcomes.push(out);
+    }
+
+    if crash_in_epoch {
+        // Epoch-boundary states: the victim op dies mid-prepare (PreSweep)
+        // or with its node durable but unpublished (PostSweep); recovery
+        // must show no trace of it and still serve allocations.
+        let out = sweep_epoch_points(&cfg);
+        println!(
+            "  {:<12} {:>5} states  {:>3} failures  ({} fired an epoch point)",
+            out.name,
+            out.states,
+            out.failures.len(),
+            out.fired
+        );
+        if out.fired == 0 {
+            eprintln!("crash_sweep: --crash-in-epoch never fired — grid too sparse");
+            std::process::exit(1);
         }
         outcomes.push(out);
     }

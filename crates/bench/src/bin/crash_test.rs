@@ -139,7 +139,16 @@ fn phase(
                     } else {
                         let value = ticket.next();
                         let idx = log.begin(ticket, OpKind::Write, key, value);
-                        match run_crashable(|| index.insert(key, value)) {
+                        // A write acks (logs as completed) only at the
+                        // sync fence: the publish link is flush-deferred,
+                        // so a crash between insert and sync leaves the
+                        // op pending — either outcome satisfies strict
+                        // linearizability.
+                        match run_crashable(|| {
+                            let old = index.insert(key, value);
+                            index.sync();
+                            old
+                        }) {
                             Ok(old) => log.finish(ticket, idx, old.unwrap_or(EMPTY)),
                             Err(_) => break,
                         }
@@ -182,6 +191,9 @@ fn main() {
             let old = subject.index.insert(k, v);
             setup_log.finish(&ticket, idx, old.unwrap_or(EMPTY));
         }
+        // The prepopulated writes are logged as completed: fence their
+        // deferred publish lines before crash injection arms.
+        subject.index.sync();
 
         // Phase 1: insert-heavy, interrupted by a power failure at a
         // random operation count.

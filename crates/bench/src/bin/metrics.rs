@@ -217,6 +217,16 @@ fn main() {
 
         push_attribution_rows(&mut report, sname, &before, &after, &op_counts);
         push_latency_rows(&mut report, sname, &registry);
+        if *sname == "upskiplist" {
+            // PMD02 (redundant empty fence) per op kind, from a small
+            // single-threaded Track-level probe: the fence-diet insert
+            // path must keep its bucket at zero.
+            let (pmd02, pops) = bench::metrics::pmd02_probe(
+                UpSkipListOpts::keys_per_node(keys_per_node),
+                (records / 10).max(500),
+            );
+            bench::metrics::push_pmd02_rows(&mut report, sname, &pmd02, &pops);
+        }
         report.push(sname, "all", "mixed_mops", mixed_r.mops());
         report.push(sname, "all", "batched_read_mops", batched_r.mops());
         if guard && sname == "upskiplist" {

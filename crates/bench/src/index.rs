@@ -47,6 +47,12 @@ pub trait KvIndex: Send + Sync {
     fn remove_batch(&self, keys: &[u64]) -> Vec<Option<u64>> {
         keys.iter().map(|&k| self.remove(k)).collect()
     }
+    /// Durability ack boundary: fence any flush-deferred publish lines so
+    /// every operation completed so far on this thread is crash-durable
+    /// (strict rather than buffered durable linearizability). Default
+    /// no-op — structures that fence eagerly at the end of each op have
+    /// nothing deferred.
+    fn sync(&self) {}
 }
 
 impl KvIndex for UpSkipList {
@@ -73,6 +79,9 @@ impl KvIndex for UpSkipList {
     }
     fn remove_batch(&self, keys: &[u64]) -> Vec<Option<u64>> {
         UpSkipList::remove_batch(self, keys)
+    }
+    fn sync(&self) {
+        UpSkipList::sync(self);
     }
 }
 

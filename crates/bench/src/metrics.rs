@@ -9,6 +9,8 @@ use obs::Registry;
 use pmem::stats::OP_KINDS;
 use pmem::{OpKind, Pool, StatsSnapshot};
 
+use crate::{build_upskiplist, Deployment, UpSkipListOpts};
+
 /// Aggregate per-op pmem counters across `pools` (a structure's whole
 /// footprint, whether one pool or one per NUMA node).
 pub fn stats_by_op(pools: &[Arc<Pool>]) -> [StatsSnapshot; OP_KINDS] {
@@ -44,6 +46,75 @@ pub fn push_attribution_rows(
         report.push(structure, op, "writes_per_op", per(d.writes));
         report.push(structure, op, "flushes_per_op", per(d.flushes));
         report.push(structure, op, "fences_per_op", per(d.fences));
+    }
+}
+
+/// Single-threaded dynamic-detector probe: run tagged insert / get /
+/// remove passes against a fresh tracked UPSkipList with the checker at
+/// [`pmem::PmCheckLevel::Track`] and return the PMD02 (redundant-fence)
+/// tally per [`OpKind`] alongside the op counts per kind. The fence-diet
+/// insert path must keep its bucket at zero: every `sync()` ack fence is
+/// skipped outright when nothing is pending, so an empty fence here means
+/// a code path still fences individually inside the prepare window.
+pub fn pmd02_probe(opts: UpSkipListOpts, records: u64) -> ([u64; OP_KINDS], [u64; OP_KINDS]) {
+    let d = Deployment {
+        tracked: true,
+        ..Deployment::simple(records)
+    };
+    let list = build_upskiplist(&d, opts);
+    for p in list.space().pools() {
+        p.set_check_level(pmem::PmCheckLevel::Track);
+    }
+    pmem::check::reset_thread();
+    let _ = pmem::check::take_redundant_fences_by_op();
+    let mut ops = [0u64; OP_KINDS];
+    {
+        let _t = pmem::op_tag(OpKind::Insert);
+        for i in 0..records {
+            list.insert(2 * i + 1, i);
+            list.sync();
+            ops[OpKind::Insert as usize] += 1;
+        }
+    }
+    {
+        let _t = pmem::op_tag(OpKind::Get);
+        for i in 0..records {
+            std::hint::black_box(list.get(2 * i + 1));
+            ops[OpKind::Get as usize] += 1;
+        }
+    }
+    {
+        let _t = pmem::op_tag(OpKind::Remove);
+        for i in 0..records / 2 {
+            list.remove(4 * i + 1);
+            list.sync();
+            ops[OpKind::Remove as usize] += 1;
+        }
+    }
+    for p in list.space().pools() {
+        let _ = p.take_check_findings();
+    }
+    (pmem::check::take_redundant_fences_by_op(), ops)
+}
+
+/// Append one `pmd02_redundant_fences` row per op kind that executed in a
+/// [`pmd02_probe`] run.
+pub fn push_pmd02_rows(
+    report: &mut MetricsReport,
+    structure: &str,
+    pmd02: &[u64; OP_KINDS],
+    ops: &[u64; OP_KINDS],
+) {
+    for kind in OpKind::ALL {
+        if ops[kind as usize] == 0 {
+            continue;
+        }
+        report.push(
+            structure,
+            kind.name(),
+            "pmd02_redundant_fences",
+            pmd02[kind as usize] as f64,
+        );
     }
 }
 

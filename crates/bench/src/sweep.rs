@@ -37,7 +37,8 @@ use std::sync::Arc;
 use lincheck::{minimize_crash_point, ReproTuple};
 use pmem::pool::PoolConfig;
 use pmem::{
-    run_crashable, CrashController, CrashPlan, ObsLevel, PersistenceMode, PmCheckLevel, Pool,
+    run_crashable, CrashController, CrashPlan, EpochCrashPoint, ObsLevel, PersistenceMode,
+    PmCheckLevel, Pool,
 };
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use riv::RivPtr;
@@ -75,6 +76,10 @@ pub struct SkipListSubject {
     /// The operation in flight at the crash, if any: `(key, Some(v))` for
     /// an insert of `v`, `(key, None)` for a remove.
     inflight: Option<(u64, Option<u64>)>,
+    /// `--crash-in-epoch`: arm a one-shot crash at this flush-epoch
+    /// boundary once the workload reaches op index `.1` — the crash then
+    /// fires inside the *next* fresh-node insert's prepare window.
+    epoch_crash: Option<(EpochCrashPoint, u64)>,
 }
 
 impl SkipListSubject {
@@ -97,6 +102,7 @@ impl SkipListSubject {
             next_val: 1,
             model: BTreeMap::new(),
             inflight: None,
+            epoch_crash: None,
         };
         // Prepopulate half the keyspace (acked + durable by protocol)
         // so early crash points land on updates and splits, not only on
@@ -107,7 +113,18 @@ impl SkipListSubject {
             s.list.insert(k, v);
             s.model.insert(k, v);
         }
+        // Ack boundary: the deferred publish lines of the prepopulated
+        // inserts must be fenced before they count as durable-by-protocol,
+        // or a DropAll crash early in the workload would shed them.
+        s.list.sync();
         s
+    }
+
+    /// Arm a one-shot [`EpochCrashPoint`] once the workload reaches op
+    /// index `at_op` (see [`run_epoch_point`]).
+    pub fn with_epoch_crash(mut self, point: EpochCrashPoint, at_op: u64) -> Self {
+        self.epoch_crash = Some((point, at_op));
+        self
     }
 }
 
@@ -122,18 +139,30 @@ impl CrashSubject for SkipListSubject {
 
     fn workload(&mut self) {
         let mut rng = StdRng::seed_from_u64(self.seed);
-        for _ in 0..self.ops {
+        for i in 0..self.ops {
+            if let Some((point, at_op)) = self.epoch_crash {
+                if i == at_op {
+                    pmem::arm_epoch_crash(point);
+                }
+            }
             let key = rng.gen_range(1..=self.keyspace);
             let roll = rng.gen_range(0..100u32);
+            // Mutations ack only at the `sync()` fence: the publish link
+            // is flush-deferred under the fence-diet insert, so an op is
+            // "acked + durable" (model-visible) only once the thread's
+            // pending lines are fenced. Crashing between the CAS and the
+            // sync leaves the op in-flight — either outcome verifies.
             if roll < 65 {
                 let v = self.next_val;
                 self.next_val += 1;
                 self.inflight = Some((key, Some(v)));
                 self.list.insert(key, v);
+                self.list.sync();
                 self.model.insert(key, v);
             } else if roll < 85 {
                 self.inflight = Some((key, None));
                 self.list.remove(key);
+                self.list.sync();
                 self.model.remove(&key);
             } else {
                 let got = self.list.get(key);
@@ -633,6 +662,60 @@ fn drive_point<S: CrashSubject>(
     Ok(())
 }
 
+/// One `--crash-in-epoch` state: run the skip-list workload with a
+/// one-shot [`EpochCrashPoint`] armed at op index `arm_at` (the countdown
+/// controller stays disarmed), so the next fresh-node insert dies either
+/// mid-prepare (`PreSweep`: CLWBs issued, *nothing* durable by fence) or
+/// between the coalesced sweep and the publish CAS (`PostSweep`: the
+/// prepared node durable but unpublished). Either way the crash lands
+/// before the publish, so recovery must surface no trace of the op:
+/// every key reads exactly its acked value — the prepared node is
+/// unreachable — invariants hold, and a post-recovery probe insert proves
+/// the allocator reclaimed the prepared node's lease and still serves.
+/// Returns whether the armed point actually fired (`false` when no
+/// fresh-node insert followed `arm_at`).
+pub fn run_epoch_point(
+    seed: u64,
+    ops: u64,
+    arm_at: u64,
+    point: EpochCrashPoint,
+    plan: CrashPlan,
+) -> Result<bool, String> {
+    let mut s = SkipListSubject::new(seed, ops).with_epoch_crash(point, arm_at);
+    let first = stage(|| s.workload()).map_err(|e| format!("workload: {e}"))?;
+    pmem::disarm_epoch_crash();
+    let fired = matches!(first, Stage::Crashed);
+    power_fail(&s, plan);
+
+    // The crash (when it fired) died before the publish CAS: drop the
+    // usual in-flight tolerance — the op's post-state must NOT be visible.
+    s.inflight = None;
+
+    match stage(|| s.recover()).map_err(|e| format!("recovery: {e}"))? {
+        Stage::Completed => {}
+        Stage::Crashed => return Err("recovery crashed with nothing armed".into()),
+    }
+    stage(|| s.verify()).map_err(|e| format!("verify: {e}"))?;
+
+    // Reclamation probe: a fresh insert must come out of the recovered
+    // allocator and be durably readable — the prepared-but-unpublished
+    // node did not wedge a lease or corrupt a free list.
+    stage(|| {
+        let key = 1 + seed % s.keyspace;
+        let v = s.next_val;
+        s.next_val += 1;
+        s.list.insert(key, v);
+        s.list.sync();
+        s.model.insert(key, v);
+        assert_eq!(s.list.get(key), Some(v), "probe insert not visible");
+    })
+    .map_err(|e| format!("post-recovery probe: {e}"))?;
+
+    stage(|| s.recover()).map_err(|e| format!("re-recovery: {e}"))?;
+    stage(|| s.verify()).map_err(|e| format!("verify after re-recovery: {e}"))?;
+    Ok(fired)
+}
+
 /// Measure how many pmem operations `mk(seed)`'s workload performs by
 /// arming far beyond it and reading back the unconsumed budget.
 pub fn calibrate<S: CrashSubject>(mk: &dyn Fn(u64) -> S, seed: u64) -> u64 {
@@ -669,6 +752,11 @@ pub struct SweepOutcome {
     pub name: &'static str,
     /// Distinct (crash-point × seed × policy) states explored.
     pub states: u64,
+    /// States whose armed crash actually fired. Equals `states` for
+    /// countdown sweeps (crash points are calibrated inside the workload);
+    /// for epoch-boundary sweeps a state can arm past the last fresh-node
+    /// insert and complete uncrashed.
+    pub fired: u64,
     /// One repro line per failing state (already minimized).
     pub failures: Vec<String>,
     /// Advisory pmcheck findings (PMD02 redundant fences, PMD03 reads of
@@ -686,6 +774,7 @@ pub fn sweep<S: CrashSubject>(
     let mut out = SweepOutcome {
         name,
         states: 0,
+        fired: 0,
         failures: Vec::new(),
         advisories: 0,
     };
@@ -715,6 +804,49 @@ pub fn sweep<S: CrashSubject>(
         }
     }
     out.advisories = ADVISORIES.with(|a| a.take());
+    out.fired = out.states;
+    out
+}
+
+/// Walk the `--crash-in-epoch` grid for the skip-list subject:
+/// arm-op position × seed × residue policy × {`PreSweep`, `PostSweep`}.
+/// Fresh-node inserts are a fraction of the mixed workload, so a state
+/// whose arm point lands after the last one simply completes — the
+/// outcome's `fired` counts how many states actually crashed at an epoch
+/// boundary (callers asserting coverage should check it is non-zero).
+pub fn sweep_epoch_points(cfg: &SweepConfig) -> SweepOutcome {
+    let mut out = SweepOutcome {
+        name: "upskiplist-epoch",
+        states: 0,
+        fired: 0,
+        failures: Vec::new(),
+        advisories: 0,
+    };
+    let step = (cfg.ops / (cfg.points as u64 + 1)).max(1);
+    for &seed in &cfg.seeds {
+        for i in 0..cfg.points as u64 {
+            // Include 0 so one position crashes the first fresh-node
+            // insert of the workload.
+            let arm_at = step * i;
+            for point in [EpochCrashPoint::PreSweep, EpochCrashPoint::PostSweep] {
+                for &plan in &cfg.plans {
+                    out.states += 1;
+                    match run_epoch_point(seed, cfg.ops, arm_at, point, plan) {
+                        Ok(true) => out.fired += 1,
+                        Ok(false) => {}
+                        Err(msg) => {
+                            let line = format!(
+                                "upskiplist-epoch: FAIL (arm_at={arm_at}, seed={seed}, \
+                                 point={point:?}, policy={plan:?}): {msg}"
+                            );
+                            eprintln!("{line}");
+                            out.failures.push(line);
+                        }
+                    }
+                }
+            }
+        }
+    }
     out
 }
 
@@ -754,6 +886,19 @@ mod tests {
         let ops = cfg.ops;
         let out = sweep("upskiplist", &|seed| SkipListSubject::new(seed, ops), &cfg);
         assert_eq!(out.states, 12);
+        assert!(out.failures.is_empty(), "{:?}", out.failures);
+    }
+
+    /// `--crash-in-epoch` smoke: both epoch boundaries, every residue
+    /// policy. At least one state must actually fire its point (arm_at=0
+    /// catches the first fresh-node insert), or the sweep proves nothing.
+    #[test]
+    fn skiplist_epoch_crash_sweep_smoke() {
+        pmem::crash::silence_crash_panics();
+        let cfg = quick();
+        let out = sweep_epoch_points(&cfg);
+        assert_eq!(out.states, 24); // 3 arm points × 2 boundaries × 4 plans
+        assert!(out.fired > 0, "no epoch crash point ever fired");
         assert!(out.failures.is_empty(), "{:?}", out.failures);
     }
 

@@ -277,6 +277,19 @@ impl UpSkipList {
         self.epoch.store(epoch, Ordering::SeqCst);
     }
 
+    /// Drain the calling thread's pending (epoch-deferred) flushes with one
+    /// fence, making every operation it completed durable. Under the
+    /// prepare-then-publish insert path the publishing link line is flushed
+    /// with deferred durability — it rides the next operation's sweep fence
+    /// — so a thread that must *guarantee* its last operation survives a
+    /// power failure (an ack boundary, a quiesce point) calls `sync` first.
+    /// Returns true if a fence was actually issued (false = nothing
+    /// pending). Per-thread: other threads' pending flushes are unaffected.
+    #[inline]
+    pub fn sync(&self) -> bool {
+        pmem::fence_pending()
+    }
+
     /// Mark a clean shutdown (flushes everything in tracked pools). Drains
     /// every thread's magazine and free outbox first so no block is lost to
     /// a DRAM cache; callers must have quiesced all worker threads.

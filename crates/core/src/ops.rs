@@ -237,6 +237,16 @@ impl UpSkipList {
 
     /// Function 15, generalized: allocate and link a brand-new node holding
     /// `(key, value)` after `preds[0]`.
+    ///
+    /// MOD-style prepare-then-publish: the whole prepare phase (allocator
+    /// pop, node init, tower links) runs inside one [`pmem::FlushEpoch`] —
+    /// every CLWB queues in the thread's pending set — and a single sweep
+    /// fence commits it all right before the publishing link CAS. The node
+    /// is unreachable until that CAS, so one fence suffices (§4.5 "the
+    /// order of persistence does not matter"). The publish line itself is
+    /// flushed with deferred durability: it rides the next fence (a later
+    /// op's sweep or an explicit [`UpSkipList::sync`]), which is the
+    /// buffered-durable-linearizability point of the design.
     fn create_successor(
         &self,
         key: u64,
@@ -247,12 +257,12 @@ impl UpSkipList {
         let height = self.random_height();
         let pred = preds[0];
         let succ0 = succs[0];
+        let ep = pmem::FlushEpoch::open();
         let block = self.alloc_block(pred, key);
         self.init_node(block, height, &[(key, value)]);
         self.populate_next_pointers(succs, block, height);
-        // The node is unreachable until the link CAS, so one fence persists
-        // everything (§4.5 "the order of persistence does not matter").
-        self.space().persist(block, node_words(&self.cfg));
+        self.space().flush_range(block, node_words(&self.cfg));
+        ep.sweep();
         if self
             .space()
             .cas(
@@ -270,7 +280,7 @@ impl UpSkipList {
             return false;
         }
         self.space()
-            .persist(pred.add(next_off_cfg(&self.cfg, 0) as u32), 1);
+            .flush_deferred(pred.add(next_off_cfg(&self.cfg, 0) as u32), 1);
         self.link_higher_levels(preds, succs, block, 1, height);
         true
     }
@@ -341,8 +351,11 @@ impl UpSkipList {
     }
 
     /// Function 17: swing predecessors' next pointers level by level, from
-    /// the bottom up, persisting each level before the next — the order
-    /// matters for recovery (§4.5).
+    /// the bottom up, flushing each level before the next — the order
+    /// matters for recovery (§4.5). Upper links are flushed with deferred
+    /// durability (they are index-only state `complete_tower` can rebuild;
+    /// losing them to a crash costs a repair, not data), so tower building
+    /// adds CLWBs but no fences to the insert.
     pub(crate) fn link_higher_levels(
         &self,
         preds: &mut [RivPtr; MAX_HEIGHT],
@@ -368,7 +381,7 @@ impl UpSkipList {
                     .is_ok()
                 {
                     self.space()
-                        .persist(pred_l.add(next_off_cfg(&self.cfg, level) as u32), 1);
+                        .flush_deferred(pred_l.add(next_off_cfg(&self.cfg, level) as u32), 1);
                     break;
                 }
                 // The neighborhood changed: re-traverse for the node's own
@@ -458,6 +471,11 @@ impl UpSkipList {
         let moved = pairs.split_off(pairs.len() / 2);
         let median = moved[0].0;
         let new_height = self.random_height();
+        // Prepare-then-publish, as in `create_successor`: the allocator
+        // pop, the new node's contents, and its tower links all queue their
+        // CLWBs inside one flush epoch, committed by a single sweep fence
+        // right before the publishing link CAS.
+        let ep = pmem::FlushEpoch::open();
         let block = self.alloc_block(node, median);
         // The new node keeps its keys sorted (a property BzTree exploits
         // for binary search; ours enables the sorted-nodes ablation).
@@ -469,7 +487,8 @@ impl UpSkipList {
         let succ0 = self.next(node, 0);
         self.space()
             .write(block.add(next_off_cfg(&self.cfg, 0) as u32), succ0.raw());
-        self.space().persist(block, node_words(&self.cfg));
+        self.space().flush_range(block, node_words(&self.cfg));
+        ep.sweep();
         if self
             .space()
             .cas(
@@ -485,8 +504,12 @@ impl UpSkipList {
             rwlock::write_unlock(self.space(), node);
             return;
         }
+        // One fence covers both the published link and the split counter:
+        // the link's CLWB queues in the pending set, and the counter's
+        // `persist` right after drains it. No publishing CAS intervenes, so
+        // the link line is never dirty at a publish point.
         self.space()
-            .persist(node.add(next_off_cfg(&self.cfg, 0) as u32), 1);
+            .flush_range(node.add(next_off_cfg(&self.cfg, 0) as u32), 1);
         self.space().fetch_add(node.add(N_SPLIT_COUNT as u32), 1);
         self.space().persist(node.add(N_SPLIT_COUNT as u32), 1);
         self.stats.node_split();

@@ -432,6 +432,24 @@ impl UpSkipList {
             img.levels[level].splice(s..e, fresh);
         }
         img.region_gen[r] = sgen;
+        // A refresh splices in towers the original rebuild never saw
+        // (splits grow levels mid-epoch), so re-enforce the capacity
+        // budget: drop the lowest mirrored levels until the image fits,
+        // exactly as the rebuild would have.
+        let capacity = self.shadow.capacity.load(Ordering::Acquire);
+        let mut total: usize = img.levels.iter().map(Vec::len).sum();
+        let mut min_level = img.min_level;
+        while total > capacity && min_level < top {
+            total -= img.levels[min_level].len();
+            img.levels[min_level] = Vec::new();
+            min_level += 1;
+        }
+        if total > capacity {
+            // Even the top level alone overflows: image unusable.
+            *img = ShadowImage::default();
+            return;
+        }
+        img.min_level = min_level;
     }
 }
 

@@ -3,8 +3,10 @@
 //! The build environment has no network access to crates.io, so this
 //! workspace crate vendors the entry points the suite's benches use:
 //! `criterion_group!` / `criterion_main!`, `Criterion::benchmark_group`,
-//! `BenchmarkGroup::{sample_size, bench_function, bench_with_input,
-//! finish}`, `BenchmarkId::new`, and `Bencher::{iter, iter_custom}`.
+//! `BenchmarkGroup::{sample_size, throughput, bench_function,
+//! bench_with_input, finish}`, `BenchmarkId::new`, `BatchSize`,
+//! `Throughput`, and `Bencher::{iter, iter_custom, iter_batched,
+//! iter_batched_ref}`.
 //!
 //! Instead of criterion's statistical engine, each benchmark runs a short
 //! calibrated loop and prints mean wall time per iteration. That is enough
@@ -41,9 +43,40 @@ impl From<String> for BenchmarkId {
     }
 }
 
+/// How batched iterations consume setup output (criterion 0.5 names; the
+/// stub times one routine call per sample regardless, so the variants are
+/// accepted for API compatibility and otherwise ignored).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+    NumBatches(u64),
+    NumIterations(u64),
+}
+
+/// Work performed per iteration; when set on the group, reports append a
+/// derived elements-per-second rate.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+    BytesDecimal(u64),
+}
+
+impl Throughput {
+    fn units(&self) -> u64 {
+        match *self {
+            Throughput::Elements(n) | Throughput::Bytes(n) | Throughput::BytesDecimal(n) => n,
+        }
+    }
+}
+
 /// Measurement driver handed to the bench closure.
 pub struct Bencher {
     samples: usize,
+    /// Units of work per iteration, from the group's `throughput` setting.
+    units_per_iter: Option<u64>,
 }
 
 impl Bencher {
@@ -73,7 +106,7 @@ impl Bencher {
             total += start.elapsed();
             iters += batch;
         }
-        report(total, iters);
+        report(total, iters, self.units_per_iter);
     }
 
     /// Hand the iteration count to the routine and trust its own timing.
@@ -85,11 +118,51 @@ impl Bencher {
             total += routine(per_sample);
             iters += per_sample;
         }
-        report(total, iters);
+        report(total, iters, self.units_per_iter);
+    }
+
+    /// Time `routine` on an input built by `setup` each sample; setup and
+    /// drop run outside the timed window.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+            iters += 1;
+        }
+        report(total, iters, self.units_per_iter);
+    }
+
+    /// Like [`Bencher::iter_batched`] but hands the routine `&mut` to the
+    /// setup output, so the input survives the call (dropped untimed).
+    pub fn iter_batched_ref<I, O, S: FnMut() -> I, R: FnMut(&mut I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        for _ in 0..self.samples {
+            let mut input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(&mut input));
+            total += start.elapsed();
+            iters += 1;
+        }
+        report(total, iters, self.units_per_iter);
     }
 }
 
-fn report(total: Duration, iters: u64) {
+fn report(total: Duration, iters: u64, units_per_iter: Option<u64>) {
     let ns = total.as_nanos() as f64 / iters.max(1) as f64;
     let (value, unit) = if ns >= 1e9 {
         (ns / 1e9, "s")
@@ -100,13 +173,23 @@ fn report(total: Duration, iters: u64) {
     } else {
         (ns, "ns")
     };
-    println!("                        time: {value:.3} {unit}/iter  ({iters} iters)");
+    match units_per_iter {
+        Some(n) if n > 0 && ns > 0.0 => {
+            let rate = n as f64 / (ns / 1e9);
+            println!(
+                "                        time: {value:.3} {unit}/iter  \
+                 ({iters} iters, {rate:.0} elem/s)"
+            );
+        }
+        _ => println!("                        time: {value:.3} {unit}/iter  ({iters} iters)"),
+    }
 }
 
 /// Named collection of related benchmarks.
 pub struct BenchmarkGroup<'a> {
     name: String,
     sample_size: usize,
+    throughput: Option<Throughput>,
     _criterion: &'a mut Criterion,
 }
 
@@ -116,6 +199,20 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    /// Annotate the group's benches with per-iteration work; reports then
+    /// include a derived rate.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    fn bencher(&self) -> Bencher {
+        Bencher {
+            samples: self.sample_size.min(20),
+            units_per_iter: self.throughput.map(|t| t.units()),
+        }
+    }
+
     pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
         &mut self,
         id: I,
@@ -123,9 +220,7 @@ impl BenchmarkGroup<'_> {
     ) -> &mut Self {
         let id = id.into();
         println!("{}/{}", self.name, id.name);
-        let mut b = Bencher {
-            samples: self.sample_size.min(20),
-        };
+        let mut b = self.bencher();
         f(&mut b);
         self
     }
@@ -138,9 +233,7 @@ impl BenchmarkGroup<'_> {
     ) -> &mut Self {
         let id = id.into();
         println!("{}/{}", self.name, id.name);
-        let mut b = Bencher {
-            samples: self.sample_size.min(20),
-        };
+        let mut b = self.bencher();
         f(&mut b, input);
         self
     }
@@ -159,13 +252,17 @@ impl Criterion {
         BenchmarkGroup {
             name,
             sample_size: 10,
+            throughput: None,
             _criterion: self,
         }
     }
 
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
         println!("\n{name}");
-        let mut b = Bencher { samples: 10 };
+        let mut b = Bencher {
+            samples: 10,
+            units_per_iter: None,
+        };
         f(&mut b);
         self
     }
@@ -211,6 +308,32 @@ mod tests {
         group.bench_with_input(BenchmarkId::new("sum", data.len()), &data, |b, d| {
             b.iter(|| d.iter().sum::<u64>())
         });
+        group.finish();
+    }
+
+    #[test]
+    fn iter_batched_ref_rebuilds_input_per_sample_untimed() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("batched");
+        group.sample_size(3).throughput(Throughput::Elements(4));
+        let mut setups = 0u64;
+        let mut runs = 0u64;
+        group.bench_function("fill", |b| {
+            b.iter_batched_ref(
+                || {
+                    setups += 1;
+                    Vec::<u64>::new()
+                },
+                |v| {
+                    runs += 1;
+                    v.extend_from_slice(&[1, 2, 3, 4]);
+                    assert_eq!(v.len(), 4, "input must be fresh each sample");
+                },
+                BatchSize::PerIteration,
+            )
+        });
+        assert_eq!(setups, 3, "one setup per sample");
+        assert_eq!(runs, 3, "one timed call per sample");
         group.finish();
     }
 

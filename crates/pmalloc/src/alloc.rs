@@ -480,25 +480,47 @@ impl Allocator {
             if pool.cas(head_slot, head_raw, cur.raw()).is_err() {
                 continue;
             }
-            pool.persist(head_slot, 1);
+            // When the caller holds an open flush epoch (the list's
+            // prepare-then-publish insert path), the head advance, the
+            // block stamps, and the tail hint all ride the op's single
+            // sweep fence instead of fencing here — the lease log above is
+            // already durable, and a crash before the sweep falls into the
+            // same stale-lease window the log machinery tolerates (the
+            // ≤M-blocks-per-thread leak bound in the module docs).
+            let in_epoch = pmem::epoch_active();
+            if in_epoch {
+                pool.flush_deferred(head_slot, 1);
+            } else {
+                pool.persist(head_slot, 1);
+            }
             // Stamp every claimed block RAW/POPPED in the new epoch. The
             // write-backs are batched; the persist below dedups against
             // the first block's pending line, so the whole lease pays one
-            // stamping fence.
+            // stamping fence (none at all inside an epoch).
             for &b in &claimed {
                 self.space.write(b.add(BLK_KIND as u32), KIND_RAW);
                 self.space.write(b.add(BLK_NEXT_FREE as u32), NEXT_POPPED);
                 self.space.write(b.add(BLK_EPOCH as u32), epoch);
-                self.space.flush_range(b, BLK_CLIENT);
+                if in_epoch {
+                    self.space.flush_deferred(b, BLK_CLIENT);
+                } else {
+                    self.space.flush_range(b, BLK_CLIENT);
+                }
             }
-            self.space.persist(claimed[0], 1);
+            if !in_epoch {
+                self.space.persist(claimed[0], 1);
+            }
             // If the tail hint pointed into the claimed prefix, advance it
             // past the removed blocks.
             let tail_slot = self.layout.arena_tail(arena);
             let tail_raw = pool.read(tail_slot);
             if claimed.iter().any(|b| b.raw() == tail_raw) {
                 let _ = pool.cas(tail_slot, tail_raw, cur.raw());
-                pool.persist(tail_slot, 1);
+                if in_epoch {
+                    pool.flush_deferred(tail_slot, 1);
+                } else {
+                    pool.persist(tail_slot, 1);
+                }
             }
             self.leases.fetch_add(1, Relaxed);
             self.lease_blocks.fetch_add(claimed.len() as u64, Relaxed);

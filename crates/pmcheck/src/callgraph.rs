@@ -50,6 +50,12 @@ pub struct Analysis<'a> {
     pub leaves_unflushed: Vec<bool>,
     pub bumps_epoch: Vec<bool>,
     pub crashes: Vec<bool>,
+    /// Does this function issue a fence — a `.persist(`, `sfence(` or log
+    /// `.commit(` token, directly or through a callee every one of whose
+    /// same-name definitions fences (see [`Self::fences_name`])? PMS12
+    /// consumes this to flag fencing calls inside an open flush epoch's
+    /// prepare window.
+    pub fences: Vec<bool>,
     covered: HashMap<String, usize>,
     crash_covered: HashMap<String, usize>,
 }
@@ -79,6 +85,7 @@ impl<'a> Analysis<'a> {
             leaves_unflushed: vec![false; fns.len()],
             bumps_epoch: vec![false; fns.len()],
             crashes: vec![false; fns.len()],
+            fences: vec![false; fns.len()],
             covered: HashMap::new(),
             crash_covered: HashMap::new(),
         };
@@ -141,6 +148,17 @@ impl<'a> Analysis<'a> {
 
     pub fn crashes_name(&self, name: &str) -> bool {
         self.defs(name).iter().any(|&i| self.crashes[i])
+    }
+
+    /// A call to `name` issues a fence under every resolution (ALL
+    /// definitions, ≥ 1 def). The ALL direction mirrors
+    /// [`Self::terminal_flush_name`]: with bare-name resolution, ANY-def
+    /// would let one fencing definition of a ubiquitous name (`new`,
+    /// `read`, `get`) poison every accessor in the workspace, and PMS12
+    /// would flag every call inside every epoch window.
+    pub fn fences_name(&self, name: &str) -> bool {
+        let defs = self.defs(name);
+        !defs.is_empty() && defs.iter().all(|&i| self.fences[i])
     }
 
     /// Positions in `i` that end a persist obligation: direct flush tokens
@@ -270,6 +288,14 @@ impl<'a> Analysis<'a> {
                         || self.calls(i).any(|(_, g)| self.crashes_name(g));
                     if hit {
                         self.crashes[i] = true;
+                        changed = true;
+                    }
+                }
+                if !self.fences[i] {
+                    let hit = self.events_of(i, EventKind::Fence).next().is_some()
+                        || self.calls(i).any(|(_, g)| self.fences_name(g));
+                    if hit {
+                        self.fences[i] = true;
                         changed = true;
                     }
                 }

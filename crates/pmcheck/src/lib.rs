@@ -25,6 +25,7 @@
 //! | PMS09 | structure mutation with no reachable `StructureEpoch` bump before unlock |
 //! | PMS10 | inconsistent lock-acquisition order across `crates/service` |
 //! | PMS11 | volatile cache (finger/magazine) written before the publish CAS |
+//! | PMS12 | explicit fence inside an open `FlushEpoch` (the prepare phase must defer to the sweep) |
 //!
 //! PMS01/02/03/04 apply to non-test code only (crash tests legitimately
 //! leave writes unflushed); PMS05 applies to test code only; PMS06/07
@@ -35,8 +36,10 @@
 //! ([`callgraph`]) and (a) discharges intra-procedural findings whose
 //! persist/assert obligation every caller provably meets — printed as
 //! "proven" instead of allowlisted — and (b) reports obligations that
-//! escape through call boundaries. PMS08–11 ([`rules`]) run over the same
-//! summaries.
+//! escape through call boundaries. PMS08–12 ([`rules`]) run over the same
+//! summaries; PMS12 additionally consumes the call graph's `fences`
+//! reachability fact, so a fence buried two calls deep inside an open
+//! epoch is still caught.
 
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -102,6 +105,10 @@ pub const RULES: &[(&str, &str)] = &[
     (
         "PMS11",
         "volatile cache written before the persistent commit point",
+    ),
+    (
+        "PMS12",
+        "explicit fence inside an open flush epoch (defer to the sweep)",
     ),
 ];
 
@@ -473,13 +480,27 @@ pub fn split_functions(stripped: &str, file_is_test: bool) -> Vec<FnSpan> {
         if name.is_empty() {
             continue;
         }
-        // Body = first `{` after the signature, brace-matched. A `;`
-        // before any `{` means a bodyless decl (trait method, extern).
-        let Some(rel) = stripped[k..].find(['{', ';']) else {
-            continue;
-        };
-        let open = k + rel;
-        if b[open] == b';' {
+        // Body = first `{` after the signature *at bracket depth 0*,
+        // brace-matched. A depth-0 `;` before any `{` means a bodyless
+        // decl (trait method, extern); a `;` inside brackets is an array
+        // type like `[RivPtr; MAX_HEIGHT]` and must not end the scan —
+        // treating it as one made every function with an array parameter
+        // invisible to the whole lint.
+        let mut open = usize::MAX;
+        let mut depth = 0usize;
+        for (off, c) in stripped[k..].bytes().enumerate() {
+            match c {
+                b'(' | b'[' => depth += 1,
+                b')' | b']' => depth = depth.saturating_sub(1),
+                b'{' if depth == 0 => {
+                    open = k + off;
+                    break;
+                }
+                b';' if depth == 0 => break,
+                _ => {}
+            }
+        }
+        if open == usize::MAX {
             continue;
         }
         let mut depth = 0usize;
@@ -543,6 +564,7 @@ pub(crate) const FLUSH_TOKENS: &[&str] = &[
     "persist_line",
     "mark_all_persisted",
     ".commit(",
+    ".sweep(",
 ];
 pub(crate) const CAS_TOKENS: &[&str] = &[".cas(", ".pmwcas("];
 pub(crate) const RECOVERY_TOKENS: &[&str] = &[

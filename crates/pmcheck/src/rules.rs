@@ -22,6 +22,17 @@
 //!   function: the DRAM cache would claim state the persistent structure
 //!   has not committed yet. Intra-procedural on purpose — propagating the
 //!   marker through callees would poison every `traverse()` caller.
+//! * **PMS12** — a fence (`.persist(`/`sfence(`/`.commit(`, or a call that
+//!   transitively reaches one) inside an open `FlushEpoch` prepare window
+//!   (between `FlushEpoch::open(` and the next `.sweep(`): the whole point
+//!   of the epoch is that prepare-phase CLWBs queue in the pending set and
+//!   the sweep issues the *single* pre-publish fence, so an individual
+//!   fence inside the window both wastes the latency the epoch saved and
+//!   hints that a write path was not converted to `flush_deferred`/
+//!   `flush_range`. The one sanctioned case — the leased allocator
+//!   persisting a fresh lease-log entry mid-prepare — is carried by the
+//!   workspace allowlist, not by the rule. Scope: `crates/core` and
+//!   `crates/pmalloc`.
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -35,6 +46,7 @@ pub fn check(a: &Analysis<'_>) -> Vec<Finding> {
     pms09(a, &mut out);
     pms10(a, &mut out);
     pms11(a, &mut out);
+    pms12(a, &mut out);
     out
 }
 
@@ -212,6 +224,71 @@ fn pms10(a: &Analysis<'_>, out: &mut Vec<Finding>) {
                      elsewhere in crates/service — pick one hierarchy"
                 ),
             });
+        }
+    }
+}
+
+/// PMS12: fence inside an open flush epoch's prepare window
+/// (crates/core and crates/pmalloc).
+///
+/// The window runs from each `EpochOpen` to the first `EpochSweep` after
+/// it — or to the end of the function if none follows (the epoch guard's
+/// Drop sweeps, so everything up to the return is still prepare phase).
+/// Inside it, a direct fence token or a call whose definition transitively
+/// fences is a finding: prepare-phase durability must queue (`flush_range`
+/// / `flush_deferred`) and let the sweep pay the single SFENCE.
+fn pms12(a: &Analysis<'_>, out: &mut Vec<Finding>) {
+    for (i, f) in a.fns().iter().enumerate() {
+        let info = &a.infos()[f.file];
+        if f.is_test || !(info.rel.contains("crates/core/") || info.rel.contains("crates/pmalloc/"))
+        {
+            continue;
+        }
+        let opens: Vec<usize> = f
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::EpochOpen)
+            .map(|e| e.at)
+            .collect();
+        if opens.is_empty() {
+            continue;
+        }
+        let sweeps: Vec<usize> = f
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::EpochSweep)
+            .map(|e| e.at)
+            .collect();
+        for &o in &opens {
+            let end = sweeps
+                .iter()
+                .find(|&&s| s > o)
+                .copied()
+                .unwrap_or(f.body.end);
+            for e in a.events(i) {
+                if e.at <= o || e.at >= end {
+                    continue;
+                }
+                let message = match &e.kind {
+                    EventKind::Fence => "explicit fence inside an open flush epoch — queue the \
+                                         write-back (flush_range/flush_deferred) and let the \
+                                         sweep issue the single pre-publish fence"
+                        .to_string(),
+                    EventKind::Call(g) if a.fences_name(g) => format!(
+                        "call to `{g}` may issue a fence inside an open flush epoch — fold \
+                         the callee's persist into the epoch, or allowlist the site if the \
+                         fence is sanctioned (e.g. a fresh lease-log entry)"
+                    ),
+                    _ => continue,
+                };
+                out.push(Finding {
+                    rule: "PMS12",
+                    file: info.rel.clone(),
+                    line: info.lines.line(e.at),
+                    function: f.name.clone(),
+                    message,
+                });
+            }
         }
     }
 }

@@ -56,6 +56,15 @@ pub enum EventKind {
     AtomicReleaseStore(String),
     /// `<field>.load(Ordering::Relaxed)`.
     AtomicRelaxedLoad(String),
+    /// `FlushEpoch::open(` — the start of a prepare-then-publish window.
+    EpochOpen,
+    /// `.sweep(` — the single coalesced fence that closes a flush epoch.
+    EpochSweep,
+    /// A token that *fences* (`.persist(`, `sfence(`, `.commit(`), as
+    /// opposed to a mere CLWB. Emitted in addition to [`EventKind::Flush`]
+    /// so PMS01–07 see the same flush points they always did while PMS12
+    /// can tell "queued a write-back" apart from "drained the queue".
+    Fence,
 }
 
 /// An event at a byte offset of the original (length-preserving stripped)
@@ -120,7 +129,15 @@ const NON_CALL_NAMES: &[&str] = &[
     "write_unlock",
     "compare_exchange",
     "compare_exchange_weak",
+    "sweep",
 ];
+
+/// Flush tokens that also *fence*: a `.persist(` drains the pending set
+/// with an SFENCE, `sfence(` is the fence itself, and a log `.commit(`
+/// persists its entry before returning. `.flush(`/`.flush_range(` are
+/// CLWB-only and deliberately absent — queueing write-backs is exactly
+/// what a flush epoch's prepare phase is for.
+const FENCE_TOKENS: &[&str] = &[".persist(", "sfence(", ".commit("];
 
 const KEYWORDS: &[&str] = &[
     "if", "while", "for", "match", "loop", "return", "in", "as", "let", "else", "move", "ref",
@@ -211,6 +228,26 @@ pub fn summarize_file(file_idx: usize, rel: &str, src: &str) -> (FileInfo, Vec<F
                     kind: EventKind::Flush,
                 });
             }
+        }
+        for t in FENCE_TOKENS {
+            for p in occurrences(&stripped, body.clone(), t) {
+                events.push(Event {
+                    at: p,
+                    kind: EventKind::Fence,
+                });
+            }
+        }
+        for p in occurrences(&stripped, body.clone(), "FlushEpoch::open(") {
+            events.push(Event {
+                at: p,
+                kind: EventKind::EpochOpen,
+            });
+        }
+        for p in occurrences(&stripped, body.clone(), ".sweep(") {
+            events.push(Event {
+                at: p,
+                kind: EventKind::EpochSweep,
+            });
         }
         for t in CAS_TOKENS {
             for p in occurrences(&stripped, body.clone(), t) {
@@ -367,6 +404,12 @@ pub fn summarize_file(file_idx: usize, rel: &str, src: &str) -> (FileInfo, Vec<F
             // Definition site: `fn name(` — the preceding token is `fn`.
             let before = stripped[..start].trim_end();
             if before.ends_with("fn") {
+                continue;
+            }
+            // `FlushEpoch::open(` is the dedicated EpochOpen event above,
+            // not a call to the (fence-heavy) `UpSkipList::open` recovery
+            // path of the same bare name.
+            if name == "open" && stripped[..start].ends_with("FlushEpoch::") {
                 continue;
             }
             let Some(args) = call_args(&stripped, open) else {

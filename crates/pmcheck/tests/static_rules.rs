@@ -320,6 +320,95 @@ fn pms11_volatile_cache_write_before_publish_cas_is_caught() {
     assert!(source_hits(&[("crates/core/src/demo.rs", fixed)]).is_empty());
 }
 
+#[test]
+fn pms12_fence_inside_open_flush_epoch_is_caught() {
+    // The persist on line 5 fences inside the open epoch: the prepare
+    // phase should have queued the CLWB and let the sweep pay the fence.
+    let src = "impl L {\n\
+               \x20   fn prepare(&self, p: &pmem::Pool) {\n\
+               \x20       let ep = pmem::FlushEpoch::open();\n\
+               \x20       p.write(8, 1);\n\
+               \x20       p.persist(8, 1);\n\
+               \x20       ep.sweep();\n\
+               \x20       let _ = p.cas(16, 0, 8);\n\
+               \x20       p.persist(16, 1);\n\
+               \x20   }\n\
+               }\n";
+    let h = source_hits(&[("crates/core/src/demo.rs", src)]);
+    assert_eq!(
+        h,
+        vec![("PMS12".into(), "crates/core/src/demo.rs".into(), 5)],
+        "exactly the in-epoch persist"
+    );
+    // Deferred to the sweep: clean — and so are the fences outside the
+    // window (the publish persist after the sweep).
+    let fixed = "impl L {\n\
+                 \x20   fn prepare(&self, p: &pmem::Pool) {\n\
+                 \x20       let ep = pmem::FlushEpoch::open();\n\
+                 \x20       p.write(8, 1);\n\
+                 \x20       p.flush_range(8, 1);\n\
+                 \x20       ep.sweep();\n\
+                 \x20       let _ = p.cas(16, 0, 8);\n\
+                 \x20       p.persist(16, 1);\n\
+                 \x20   }\n\
+                 }\n";
+    assert!(source_hits(&[("crates/core/src/demo.rs", fixed)]).is_empty());
+    // Outside crates/core and crates/pmalloc the epoch markers are out of
+    // scope: clean.
+    assert!(source_hits(&[("crates/demo/src/demo.rs", src)]).is_empty());
+}
+
+#[test]
+fn pms12_sees_fences_buried_in_callees() {
+    // `helper` fences; calling it between open and sweep is flagged at the
+    // call site via the call graph's `fences` reachability fact.
+    let src = "impl L {\n\
+               \x20   fn helper(&self, p: &pmem::Pool) {\n\
+               \x20       p.write(8, 1);\n\
+               \x20       p.persist(8, 1);\n\
+               \x20   }\n\
+               \x20   fn prepare(&self, p: &pmem::Pool) {\n\
+               \x20       let ep = pmem::FlushEpoch::open();\n\
+               \x20       self.helper(p);\n\
+               \x20       ep.sweep();\n\
+               \x20   }\n\
+               }\n";
+    let h = source_hits(&[("crates/core/src/demo.rs", src)]);
+    assert_eq!(
+        h,
+        vec![("PMS12".into(), "crates/core/src/demo.rs".into(), 8)],
+        "the fencing call inside the window"
+    );
+    // The same call after the sweep is clean.
+    let moved = "impl L {\n\
+                 \x20   fn helper(&self, p: &pmem::Pool) {\n\
+                 \x20       p.write(8, 1);\n\
+                 \x20       p.persist(8, 1);\n\
+                 \x20   }\n\
+                 \x20   fn prepare(&self, p: &pmem::Pool) {\n\
+                 \x20       let ep = pmem::FlushEpoch::open();\n\
+                 \x20       p.write(16, 2);\n\
+                 \x20       p.flush_range(16, 1);\n\
+                 \x20       ep.sweep();\n\
+                 \x20       self.helper(p);\n\
+                 \x20   }\n\
+                 }\n";
+    assert!(source_hits(&[("crates/core/src/demo.rs", moved)]).is_empty());
+}
+
+// ---- parser regressions ----------------------------------------------------
+
+#[test]
+fn array_typed_parameters_do_not_hide_the_function_body() {
+    // The `;` inside `[RivPtr; 16]` used to read as a bodyless declaration,
+    // making every function with an array parameter (the whole tower-link
+    // insert path) invisible to every rule.
+    let src = "fn leak(p: &pmem::Pool, preds: &mut [riv::RivPtr; 16]) {\n\
+               \x20   p.write(8, 1);\n\
+               }\n";
+    assert_eq!(hits("crates/demo/src/a.rs", src), vec![("PMS01".into(), 2)]);
+}
+
 // ---- stripper regressions --------------------------------------------------
 
 #[test]

@@ -30,6 +30,12 @@ pub struct AuditRecord {
     pub written: BTreeSet<(u32, u64)>,
     /// Lines explicitly flushed (CLWB).
     pub flushed: BTreeSet<(u32, u64)>,
+    /// Lines whose CLWB was issued with *deferred* durability
+    /// (`Pool::flush_deferred`): the write-back rides the thread's next
+    /// fence instead of one inside the audited window. Always a subset of
+    /// [`AuditRecord::flushed`]. Epoch-aware flush-audit assertions use
+    /// this to tell "covered by the epoch contract" apart from "forgotten".
+    pub deferred: BTreeSet<(u32, u64)>,
     /// Fences (SFENCE) issued.
     pub fences: u64,
 }
@@ -45,6 +51,15 @@ impl AuditRecord {
     /// Lines flushed without being written: wasted CLWBs.
     pub fn phantom_flushes(&self) -> BTreeSet<(u32, u64)> {
         self.flushed.difference(&self.written).copied().collect()
+    }
+
+    /// Lines the audited window left to a *later* fence on purpose: the
+    /// deferred flushes. A strict-durability assertion treats these as
+    /// sanctioned (the epoch contract commits them at the next sweep or
+    /// sync), unlike [`AuditRecord::unflushed`] lines, which nothing will
+    /// ever persist.
+    pub fn epoch_deferred(&self) -> BTreeSet<(u32, u64)> {
+        self.deferred.clone()
     }
 }
 
@@ -80,6 +95,13 @@ pub(crate) fn note_flush(pool: u32, line: u64) {
 }
 
 #[cold]
+pub(crate) fn note_deferred(pool: u32, line: u64) {
+    RECORD.with(|r| {
+        r.borrow_mut().deferred.insert((pool, line));
+    });
+}
+
+#[cold]
 pub(crate) fn note_fence() {
     RECORD.with(|r| {
         r.borrow_mut().fences += 1;
@@ -105,6 +127,21 @@ mod tests {
         assert_eq!(rec.fences, 1);
         // Disarmed: notes are only taken via pool hooks which check armed().
         assert!(!armed());
+    }
+
+    #[test]
+    fn deferred_lines_are_flushed_but_tracked_separately() {
+        begin();
+        note_write(0, 8);
+        note_flush(0, 8);
+        note_deferred(0, 8);
+        let rec = end();
+        assert!(
+            rec.unflushed().is_empty(),
+            "a deferred CLWB is still a CLWB"
+        );
+        assert_eq!(rec.epoch_deferred(), BTreeSet::from([(0, 8)]));
+        assert!(rec.deferred.is_subset(&rec.flushed));
     }
 
     #[test]

@@ -185,6 +185,12 @@ pub(crate) const ST_DURABLE: u64 = 3;
 const F_NONEXEMPT: u64 = 1 << 3;
 const F_EXEMPT: u64 = 1 << 4;
 const F_TAINT: u64 = 1 << 5;
+/// Epoch-deferred flush: the line's CLWB was issued by
+/// `Pool::flush_deferred` and its durability deliberately rides the
+/// thread's next fence (buffered durable linearizability). The PMD01
+/// publish check skips such lines, a crash does not taint them for PMD03,
+/// and the flag clears on the fence commit or on a re-write.
+const F_DEFER: u64 = 1 << 6;
 
 const OWNER_SHIFT: u32 = 8;
 const OWNER_MASK: u64 = 0xffff << OWNER_SHIFT;
@@ -234,6 +240,11 @@ thread_local! {
     static ARMED: Cell<bool> = const { Cell::new(false) };
     /// Redundant fences observed by this thread (PMD02 tally).
     static REDUNDANT_FENCES: Cell<u64> = const { Cell::new(0) };
+    /// PMD02 tally attributed to the [`OpKind`](crate::stats::OpKind) the
+    /// thread was tagged with when each redundant fence executed — the
+    /// fence-diet harnesses report these per op so leftovers are visible.
+    static REDUNDANT_BY_OP: RefCell<[u64; crate::stats::OP_KINDS]> =
+        const { RefCell::new([0; crate::stats::OP_KINDS]) };
     /// This thread's PMD04 vector clock, indexed by thread id. Seeded from
     /// [`FENCE_VC`] on first use: a thread starts ordered after everything
     /// fenced before it first touched pmem.
@@ -380,6 +391,14 @@ pub fn take_redundant_fences() -> u64 {
     REDUNDANT_FENCES.with(|r| r.replace(0))
 }
 
+/// Per-[`OpKind`](crate::stats::OpKind) redundant-fence tally for the
+/// current thread since the last call (indexed by `OpKind as usize`);
+/// resets the tally. Attribution follows the [`op_tag`](crate::op_tag)
+/// the thread carried when the empty fence ran, like the pool counters.
+pub fn take_redundant_fences_by_op() -> [u64; crate::stats::OP_KINDS] {
+    REDUNDANT_BY_OP.with(|r| std::mem::replace(&mut *r.borrow_mut(), [0; crate::stats::OP_KINDS]))
+}
+
 /// Current global fence epoch (diagnostic).
 pub fn fence_epoch() -> u64 {
     FENCE_EPOCH.load(Ordering::Relaxed)
@@ -391,6 +410,7 @@ pub fn fence_epoch() -> u64 {
 pub fn reset_thread() {
     DIRTY.with(|d| d.borrow_mut().clear());
     REDUNDANT_FENCES.with(|r| r.set(0));
+    REDUNDANT_BY_OP.with(|r| *r.borrow_mut() = [0; crate::stats::OP_KINDS]);
 }
 
 /// Drop only the dirty-line candidates (the thread discarded or handed
@@ -457,10 +477,14 @@ pub(crate) fn on_write(pool: &Pool, off: u64) {
     let tid = thread::current().id as u16;
     let exempt = note_exempt_scope();
     let flag = if exempt { F_EXEMPT } else { F_NONEXEMPT };
-    // A write also clears any crash taint: the residue is overwritten
-    // before anything read it.
+    // A write also clears any crash taint (the residue is overwritten
+    // before anything read it) and any deferred-flush marker (the line is
+    // re-dirtied; it needs a fresh CLWB and fence, deferred or not).
     update_line(pool, line, |w| {
-        with_owner((w & !ST_MASK & !F_TAINT) | ST_WRITTEN | flag, tid)
+        with_owner(
+            (w & !ST_MASK & !F_TAINT & !F_DEFER) | ST_WRITTEN | flag,
+            tid,
+        )
     });
     if !exempt {
         let key = (pool as *const Pool as usize, line);
@@ -570,6 +594,12 @@ fn publish_check(cas_pool: &Pool, cas_line: u64) {
             cleared.push(key); // became durable (possibly via another thread)
             continue;
         }
+        if w & F_DEFER != 0 {
+            // Sanctioned deferral: the CLWB is issued and the thread's
+            // next fence commits it — stays a candidate (the fence commit
+            // drops it), but is not a PMD01 at this publish.
+            continue;
+        }
         let writer = owner(w);
         let how = match st(w) {
             ST_WRITTEN => "written but never flushed",
@@ -618,6 +648,20 @@ pub(crate) fn on_flush(pool: &Pool, line: u64) {
             w
         }
     });
+}
+
+/// A deferred CLWB over `[off, off + words)` (see
+/// [`Pool::flush_deferred`]): mark every covered line as sanctioned-
+/// deferred. Runs *after* the ordinary [`on_flush`] transitions, so the
+/// lines are `flushed` + `F_DEFER` until the fence commit (which clears
+/// both) or a re-write (which clears the deferral with the rest).
+#[cold]
+pub(crate) fn on_flush_deferred(pool: &Pool, off: u64, words: u64) {
+    let first = crate::line_of(off);
+    let last = crate::line_of(off + words.max(1) - 1);
+    for line in first..=last {
+        update_line(pool, line, |w| w | F_DEFER);
+    }
 }
 
 /// An SFENCE committed `line`: `flushed → durable` (a line re-written
@@ -688,6 +732,7 @@ pub(crate) fn next_fence_epoch() -> u64 {
 pub(crate) fn on_empty_fence() {
     if ARMED.with(|a| a.get()) {
         REDUNDANT_FENCES.with(|r| r.set(r.get() + 1));
+        REDUNDANT_BY_OP.with(|r| r.borrow_mut()[crate::stats::current_op_index()] += 1);
     }
 }
 
@@ -772,9 +817,13 @@ pub(crate) fn on_crash_line(pool: &Pool, line: u64, image_dirty: bool, kept: boo
         }
     }
     update_line(pool, line, |w| {
+        // Epoch-deferred lines are excluded: their CLWB was issued and
+        // their post-crash validation is recovery's contract (the link
+        // walk re-derives them), so surviving is sanctioned, not taint.
         let survived_undurable = st(w) != ST_DURABLE
             && st(w) != ST_CLEAN
             && w & F_NONEXEMPT != 0
+            && w & F_DEFER == 0
             && (kept || !image_dirty);
         if survived_undurable {
             F_TAINT | (w & OWNER_MASK)
@@ -935,6 +984,83 @@ mod tests {
         assert_eq!(findings.len(), 1, "{findings:?}");
         assert_eq!(findings[0].rule.id(), "PMD01");
         p.persist(8, 1);
+    }
+
+    #[test]
+    fn deferred_flush_suppresses_pmd01_at_publish() {
+        let p = checked_pool();
+        p.write(8, 9); // line 1
+        p.flush_deferred(8, 1); // CLWB issued, durability deferred
+        assert_eq!(p.cas(16, 0, 1), Ok(0)); // publish: deferred line is sanctioned
+        assert!(
+            p.take_check_findings()
+                .iter()
+                .all(|f| f.rule.id() != "PMD01"),
+            "deferred flush must not be a PMD01"
+        );
+        p.persist(16, 1); // commits line 1 (pending) and the CAS line
+        assert!(p.take_check_findings().is_empty());
+    }
+
+    #[test]
+    fn rewrite_clears_the_deferral() {
+        let p = checked_pool();
+        p.write(8, 9);
+        p.flush_deferred(8, 1);
+        sfence(); // deferred line goes durable
+        p.write(8, 10); // re-dirtied: needs its own flush+fence again
+        assert_eq!(p.cas(16, 0, 2), Ok(0));
+        let findings = p.take_check_findings();
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.rule.id() == "PMD01" && f.line == 1),
+            "a rewrite after the deferral is an ordinary dirty line: {findings:?}"
+        );
+        p.persist(8, 1);
+        p.persist(16, 1);
+    }
+
+    #[test]
+    fn deferred_flush_residue_is_not_tainted() {
+        let p = checked_pool();
+        p.write(8, 9);
+        p.flush_deferred(8, 1);
+        p.simulate_crash_with(CrashPlan::KeepAll);
+        crate::pool::discard_pending();
+        reset_thread();
+        assert_eq!(p.read(8), 9);
+        assert!(
+            p.take_check_findings()
+                .iter()
+                .all(|f| f.rule.id() != "PMD03"),
+            "epoch-deferred residue is sanctioned; recovery validates it"
+        );
+    }
+
+    #[test]
+    fn redundant_fences_attribute_to_the_tagged_op() {
+        use crate::stats::{op_tag, OpKind};
+        let p = checked_pool();
+        p.write(0, 1); // arm the thread
+        p.persist(0, 1);
+        let _ = take_redundant_fences();
+        let _ = take_redundant_fences_by_op();
+        {
+            let _t = op_tag(OpKind::Insert);
+            sfence(); // nothing pending: PMD02 charged to Insert
+        }
+        sfence(); // untagged: Other
+        let by_op = take_redundant_fences_by_op();
+        assert_eq!(by_op[OpKind::Insert as usize], 1);
+        assert_eq!(by_op[OpKind::Other as usize], 1);
+        assert_eq!(by_op.iter().sum::<u64>(), 2);
+        assert_eq!(take_redundant_fences(), 2, "total tally is independent");
+        assert_eq!(
+            take_redundant_fences_by_op().iter().sum::<u64>(),
+            0,
+            "taking resets the per-op tally"
+        );
     }
 
     #[test]

@@ -1,0 +1,235 @@
+//! Flush epochs: MOD-style prepare-then-publish fence batching.
+//!
+//! *MOD: Minimally Ordered Durable Datastructures* (Haria et al.) observes
+//! that an update needs exactly one ordering point: prepare everything the
+//! operation will publish, make it durable with one coalesced flush + one
+//! SFENCE, then publish with a single CAS. A [`FlushEpoch`] is the handle
+//! for that discipline on top of the pool layer's thread-local PENDING
+//! line list:
+//!
+//! 1. **open** — [`FlushEpoch::open`] marks the thread as inside a prepare
+//!    window. Prepare-phase code writes node memory, value lines and tower
+//!    links with plain [`Pool::write`](crate::Pool::write) and enqueues
+//!    CLWBs with `flush`/`flush_range` — *no fences*. The PENDING list is
+//!    the op's DRAM-tracked dirty set; duplicate flushes of one line dedup
+//!    there for free.
+//! 2. **sweep** — [`FlushEpoch::sweep`] issues the single pre-publish
+//!    SFENCE via [`fence_pending`](crate::pool::fence_pending), committing
+//!    every pending line at once. The caller then publishes with its link
+//!    CAS, at which point the dynamic checker (PMD01) can prove everything
+//!    the CAS makes reachable is already durable.
+//!
+//! While a thread's epoch is open, cooperating subsystems may *fold* their
+//! own fences into the sweep: the leased allocator checks
+//! [`epoch_active`] and downgrades its block-handout persists to deferred
+//! flushes (the lease *log entry* still fences eagerly — that is the one
+//! sanctioned second fence of an insert). Epochs nest; only the outermost
+//! close matters for [`epoch_active`].
+//!
+//! Dropping an unswept epoch sweeps it (unless the thread is unwinding —
+//! a crash must not manufacture a fence the power failure never issued).
+//!
+//! ## Crash points
+//!
+//! The E12 harness can arm a one-shot crash at the two epoch boundaries
+//! ([`arm_epoch_crash`]): [`EpochCrashPoint::PreSweep`] dies at the start
+//! of the sweep — prepare writes and CLWBs issued, *nothing durable by
+//! fence* — and [`EpochCrashPoint::PostSweep`] dies after the sweep's
+//! SFENCE but before the caller's publish CAS — the prepared node is
+//! durable but unreachable. Both fire by panicking with
+//! [`Crashed`], so they compose with
+//! [`run_crashable`](crate::run_crashable) exactly like countdown crashes.
+
+use std::cell::Cell;
+
+use crate::crash::Crashed;
+use crate::pool;
+
+thread_local! {
+    /// Nesting depth of open flush epochs on this thread.
+    static DEPTH: Cell<u32> = const { Cell::new(0) };
+    /// One-shot armed epoch crash point (0 = disarmed). Thread-local: the
+    /// E12 harness arms on the thread that will run the victim op, and
+    /// parallel tests cannot consume each other's armed points.
+    static EPOCH_CRASH: Cell<u8> = const { Cell::new(0) };
+}
+
+/// Where inside the epoch window an armed crash fires (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EpochCrashPoint {
+    /// At the start of [`FlushEpoch::sweep`]: the prepare phase is
+    /// complete and its CLWBs are issued, but the fence has not run —
+    /// everything the op prepared is flushed-but-unfenced residue.
+    PreSweep = 1,
+    /// Immediately after the sweep's SFENCE: the prepared memory is
+    /// durable, but the publishing CAS has not executed — the node must
+    /// be unreachable and reclaimed on recovery.
+    PostSweep = 2,
+}
+
+/// Arm a one-shot crash at `point` of the calling thread's next epoch
+/// sweep (the E12 harness arms on the thread that runs the victim op).
+pub fn arm_epoch_crash(point: EpochCrashPoint) {
+    EPOCH_CRASH.with(|c| c.set(point as u8));
+}
+
+/// Disarm the calling thread's pending epoch crash point.
+pub fn disarm_epoch_crash() {
+    EPOCH_CRASH.with(|c| c.set(0));
+}
+
+fn maybe_fire(point: EpochCrashPoint) {
+    if EPOCH_CRASH.with(|c| {
+        if c.get() == point as u8 {
+            c.set(0);
+            true
+        } else {
+            false
+        }
+    }) {
+        std::panic::panic_any(Crashed);
+    }
+}
+
+/// True while the calling thread has an open [`FlushEpoch`]. Cooperating
+/// subsystems (the leased allocator) use this to fold their fences into
+/// the op's sweep.
+pub fn epoch_active() -> bool {
+    DEPTH.with(|d| d.get() > 0)
+}
+
+/// RAII handle for one prepare-then-publish window (see module docs).
+#[must_use = "an unswept epoch sweeps on drop; call sweep() before the publish CAS"]
+pub struct FlushEpoch {
+    swept: bool,
+}
+
+impl FlushEpoch {
+    /// Open a prepare window on the calling thread.
+    pub fn open() -> FlushEpoch {
+        DEPTH.with(|d| d.set(d.get() + 1));
+        FlushEpoch { swept: false }
+    }
+
+    /// The single pre-publish ordering point: SFENCE every line the
+    /// prepare phase flushed (a no-op fence is skipped entirely, so a
+    /// prepare that wrote nothing costs nothing). Returns whether a fence
+    /// was actually issued.
+    pub fn sweep(mut self) -> bool {
+        self.swept = true;
+        maybe_fire(EpochCrashPoint::PreSweep);
+        let fenced = pool::fence_pending();
+        maybe_fire(EpochCrashPoint::PostSweep);
+        fenced
+    }
+}
+
+impl Drop for FlushEpoch {
+    fn drop(&mut self) {
+        DEPTH.with(|d| d.set(d.get() - 1));
+        // Safety net for early returns; a crash unwind must NOT fence —
+        // the power failure happened before the sweep.
+        if !self.swept && !std::thread::panicking() {
+            pool::fence_pending();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crash::{run_crashable, silence_crash_panics, Crashed};
+    use crate::pool::{pending_flushes, Pool};
+    use crate::CrashPlan;
+
+    #[test]
+    fn epoch_active_tracks_nesting() {
+        assert!(!epoch_active());
+        let outer = FlushEpoch::open();
+        assert!(epoch_active());
+        let inner = FlushEpoch::open();
+        let _ = inner.sweep(); // nothing pending: may or may not fence
+        assert!(epoch_active(), "outer epoch still open");
+        outer.sweep();
+        assert!(!epoch_active());
+    }
+
+    #[test]
+    fn sweep_commits_prepared_lines_with_one_fence() {
+        let p = Pool::tracked(256);
+        let before = p.stats().snapshot();
+        let ep = FlushEpoch::open();
+        p.write(0, 7);
+        p.write(8, 9);
+        p.flush_range(0, 9); // lines 0 and 1, no fence
+        assert_eq!(pending_flushes(), 2);
+        assert!(ep.sweep(), "pending lines must fence");
+        assert_eq!(pending_flushes(), 0);
+        assert_eq!(p.read_persisted(0), 7);
+        assert_eq!(p.read_persisted(8), 9);
+        let d = p.stats().snapshot().since(&before);
+        assert_eq!(d.fences, 1, "one sweep, one fence");
+    }
+
+    #[test]
+    fn empty_sweep_issues_no_fence() {
+        let p = Pool::tracked(64);
+        let before = p.stats().snapshot();
+        let ep = FlushEpoch::open();
+        assert!(!ep.sweep(), "nothing pending, nothing fenced");
+        assert_eq!(p.stats().snapshot().since(&before).fences, 0);
+    }
+
+    #[test]
+    fn dropped_epoch_sweeps_as_a_safety_net() {
+        let p = Pool::tracked(64);
+        {
+            let _ep = FlushEpoch::open();
+            p.write(0, 5);
+            p.flush(0);
+        } // drop sweeps
+        assert_eq!(pending_flushes(), 0);
+        assert_eq!(p.read_persisted(0), 5);
+        assert!(!epoch_active());
+    }
+
+    #[test]
+    fn pre_sweep_crash_leaves_lines_unfenced() {
+        silence_crash_panics();
+        let p = Pool::tracked(64);
+        arm_epoch_crash(EpochCrashPoint::PreSweep);
+        let r = run_crashable(|| {
+            let ep = FlushEpoch::open();
+            p.write(0, 7);
+            p.flush(0);
+            ep.sweep(); // dies here, before the fence
+            unreachable!("PreSweep must fire");
+        });
+        assert_eq!(r, Err(Crashed));
+        disarm_epoch_crash();
+        assert!(!epoch_active(), "unwind closed the epoch");
+        // The CLWB was issued but never fenced: the flush is crash residue
+        // in the machine-wide registry, and an adversarial plan may drop it.
+        assert_eq!(p.unfenced_lines(), 1);
+        p.simulate_crash_with(CrashPlan::DropAll);
+        assert_eq!(p.read(0), 0, "nothing was durable by fence");
+    }
+
+    #[test]
+    fn post_sweep_crash_has_durable_unpublished_lines() {
+        silence_crash_panics();
+        let p = Pool::tracked(64);
+        arm_epoch_crash(EpochCrashPoint::PostSweep);
+        let r = run_crashable(|| {
+            let ep = FlushEpoch::open();
+            p.write(0, 7);
+            p.flush(0);
+            ep.sweep(); // fence runs, then dies before any publish
+            unreachable!("PostSweep must fire");
+        });
+        assert_eq!(r, Err(Crashed));
+        disarm_epoch_crash();
+        p.simulate_crash_with(CrashPlan::DropAll);
+        assert_eq!(p.read(0), 7, "the sweep's fence made the line durable");
+    }
+}

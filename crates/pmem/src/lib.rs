@@ -40,6 +40,7 @@
 pub mod audit;
 pub mod check;
 pub mod crash;
+pub mod epoch;
 pub mod latency;
 pub mod pool;
 pub mod stats;
@@ -48,9 +49,10 @@ pub mod topology;
 
 pub use check::{exempt_scope, Finding, PmCheckLevel, Rule};
 pub use crash::{run_crashable, CrashController, CrashPlan, Crashed};
+pub use epoch::{arm_epoch_crash, disarm_epoch_crash, epoch_active, EpochCrashPoint, FlushEpoch};
 pub use latency::LatencyModel;
 pub use obs::{ObsLevel, OpKind};
-pub use pool::{discard_pending, sfence, PersistenceMode, Pool, POOL_MAGIC};
+pub use pool::{discard_pending, fence_pending, sfence, PersistenceMode, Pool, POOL_MAGIC};
 pub use stats::{op_tag, OpTag, Stats, StatsSnapshot};
 pub use topology::Placement;
 

@@ -482,19 +482,25 @@ impl Pool {
                 audit::note_flush(self.id as u32, line);
             }
         }
-        if self.persisted.is_some() {
-            let key = (Arc::as_ptr(self) as usize, line);
-            PENDING.with(|p| {
-                let mut pending = p.borrow_mut();
-                if pending.seen.insert(key) {
-                    pending.list.push((Arc::clone(self), line));
-                    // First flush of this line by this thread since its last
-                    // fence: register it machine-wide so a crash can see it
-                    // even after this thread is dead.
+        // Both persistence modes enqueue: the pending list doubles as the
+        // thread's "flushed since last fence" record, which the epoch sweep
+        // ([`fence_pending`]) and the PMD02 empty-fence advisory need even
+        // when no persisted image exists. The `seen` dedup bounds the cost
+        // at one push per line per fence window.
+        let key = (Arc::as_ptr(self) as usize, line);
+        PENDING.with(|p| {
+            let mut pending = p.borrow_mut();
+            if pending.seen.insert(key) {
+                pending.list.push((Arc::clone(self), line));
+                // First flush of this line by this thread since its last
+                // fence: register it machine-wide so a crash can see it
+                // even after this thread is dead. (Tracked pools only —
+                // there is no crash simulation without a persisted image.)
+                if self.persisted.is_some() {
                     *self.unfenced.lock().unwrap().entry(line).or_insert(0) += 1;
                 }
-            });
-        }
+            }
+        });
         if self.check_on() {
             check::on_flush(self, line);
         }
@@ -530,6 +536,32 @@ impl Pool {
         let last = crate::line_of(off + words - 1);
         for line in first..=last {
             self.flush_line(line);
+        }
+    }
+
+    /// CLWB every line overlapping `off .. off + words` with **deferred**
+    /// durability: the write-back is issued now, but the lines ride the
+    /// thread's *next* fence (the next op's epoch sweep, or an explicit
+    /// `sync`) instead of getting one of their own. Used for post-publish
+    /// link lines under the buffered-durable-linearizability contract: the
+    /// dynamic checker is told the deferral is intentional, so the PMD01
+    /// publish check will not report these lines at a later CAS and a
+    /// crash will not taint them for PMD03 (recovery re-validates link
+    /// residue by construction).
+    pub fn flush_deferred(self: &Arc<Self>, off: u64, words: u64) {
+        if words == 0 {
+            return;
+        }
+        self.flush_range(off, words);
+        if self.accounting && audit::armed() {
+            let first = crate::line_of(off);
+            let last = crate::line_of(off + words - 1);
+            for line in first..=last {
+                audit::note_deferred(self.id as u32, line);
+            }
+        }
+        if self.check_on() {
+            check::on_flush_deferred(self, off, words);
         }
     }
 
@@ -687,8 +719,10 @@ pub fn sfence() {
         // commits at least one line of a check-enabled pool.
         let mut epoch = 0u64;
         for (pool, line) in pending.list.drain(..) {
-            pool.persist_line_now(line);
-            pool.registry_release(line);
+            if pool.persisted.is_some() {
+                pool.persist_line_now(line);
+                pool.registry_release(line);
+            }
             if pool.check_on() {
                 if epoch == 0 {
                     epoch = check::next_fence_epoch();
@@ -698,6 +732,35 @@ pub fn sfence() {
         }
         pending.seen.clear();
     });
+}
+
+/// Issue an SFENCE only if the calling thread has CLWBs pending — the
+/// flush-epoch sweep primitive (and `UpSkipList::sync`'s strict-durability
+/// boundary). A fence with an empty pending list is skipped *entirely*:
+/// no stats bump, no latency charge, no PMD02 redundant-fence advisory —
+/// which is precisely what makes the prepare-then-publish diet free on
+/// paths that prepared nothing. The fence is accounted against the pool
+/// of the first pending line (one fence serves every pool the thread
+/// flushed, exactly as [`Pool::persist`] already behaves when the pending
+/// list spans pools). Returns whether a fence was issued.
+pub fn fence_pending() -> bool {
+    let first = PENDING.with(|p| p.borrow().list.first().map(|(pool, _)| Arc::clone(pool)));
+    let Some(pool) = first else {
+        return false;
+    };
+    if pool.accounting {
+        if pool.counters {
+            pool.stats.bump(Field::Fences);
+        }
+        if audit::armed() {
+            audit::note_fence();
+        }
+    }
+    if pool.latency_enabled {
+        pool.latency.charge(pool.latency.fence_spins, false);
+    }
+    sfence();
+    true
 }
 
 /// Drop the current thread's un-fenced flushes, releasing them from the

@@ -52,6 +52,14 @@ fn current_op() -> usize {
     CURRENT_OP.get()
 }
 
+/// Index (`OpKind as usize`) of the op the calling thread is tagged with,
+/// for attribution by sibling subsystems (the dynamic checker's per-op
+/// PMD02 tally uses the same bucket the pool counters would).
+#[inline]
+pub(crate) fn current_op_index() -> usize {
+    current_op()
+}
+
 /// Which counter a pool access bumps.
 #[derive(Debug, Clone, Copy)]
 pub(crate) enum Field {

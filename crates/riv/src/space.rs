@@ -253,6 +253,15 @@ impl RivSpace {
         pool.persist(off, words);
     }
 
+    /// Flush with *deferred* durability through a pointer — the CLWB is
+    /// issued now but the fence is left to the thread's next epoch sweep or
+    /// [`pmem::pool::fence_pending`] call. See [`Pool::flush_deferred`].
+    #[inline]
+    pub fn flush_deferred(&self, ptr: RivPtr, words: u64) {
+        let (pool, off) = self.resolve(ptr);
+        pool.flush_deferred(off, words);
+    }
+
     /// Pool counters summed across every pool in the space.
     pub fn stats_snapshot(&self) -> pmem::StatsSnapshot {
         self.pools.iter().map(|p| p.stats().snapshot()).sum()

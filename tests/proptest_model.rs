@@ -78,8 +78,11 @@ proptest! {
         let crashed = pmem::run_crashable(|| {
             for &k in &keys {
                 list.insert(k, k + 7);
-                // Only record after the call returns (= linearized and
-                // persisted).
+                // The insert's publish line is flush-deferred (buffered
+                // durable linearizability); the explicit sync is the
+                // strict-durability ack boundary. Only record after it
+                // returns (= linearized and durable).
+                list.sync();
                 completed.push(k);
             }
         })
